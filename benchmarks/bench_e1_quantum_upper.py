@@ -1,0 +1,86 @@
+"""E1 — Theorem 3.4: the quantum online recognizer's error and space.
+
+Regenerates the quantitative content of the theorem: perfect
+completeness on members, rejection probability >= 1/4 on every
+non-member flavour, and O(log n) measured space.  Probabilities are
+exact (state-vector + F_p root counts); the timed kernel is one full
+streaming pass of the recognizer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.core import (
+    QuantumOnlineRecognizer,
+    intersecting_nonmember,
+    malformed_nonmember,
+    member,
+)
+from repro.core.language import string_length, word_length
+from repro.core.quantum_recognizer import exact_acceptance_probability
+from repro.streaming import run_online
+
+
+def test_e1_error_profile(benchmark, record_table):
+    table = Table(
+        "E1 - Theorem 3.4: exact acceptance probability of the recognizer",
+        ["k", "n=|w|", "input", "Pr[accept]", "Pr[reject]", "claim", "ok"],
+    )
+    for k in (1, 2):
+        n = word_length(k)
+        word = member(k, np.random.default_rng(k))
+        p = exact_acceptance_probability(word)
+        table.add_row(k, n, "member", p, 1 - p, "= 1", abs(p - 1) < 1e-9)
+
+        big_t = string_length(k)
+        for t in sorted({1, 2, big_t // 2, big_t}):
+            word = intersecting_nonmember(k, t, np.random.default_rng(t))
+            p = exact_acceptance_probability(word)
+            table.add_row(
+                k, n, f"intersect t={t}", p, 1 - p, ">= 1/4", 1 - p >= 0.25 - 1e-9
+            )
+        for kind in ("truncated", "x_drift", "y_drift"):
+            word = malformed_nonmember(k, kind, np.random.default_rng(7))
+            p = exact_acceptance_probability(word)
+            table.add_row(k, n, kind, p, 1 - p, ">= 1/4", 1 - p >= 0.25 - 1e-9)
+    record_table(table, "e1_error_profile")
+    assert all(row[-1] == "yes" for row in table.rows)
+
+    word = intersecting_nonmember(1, 2, np.random.default_rng(0))
+    benchmark(lambda: exact_acceptance_probability(word))
+
+
+def test_e1_space_profile(benchmark, record_table):
+    table = Table(
+        "E1 - Theorem 3.4: measured space of one streaming pass",
+        ["k", "n=|w|", "classical bits", "qubits", "total", "total/log2(n)"],
+    )
+    for k in (1, 2, 3, 4):
+        word = member(k, np.random.default_rng(k))
+        rec = QuantumOnlineRecognizer(rng=k)
+        space = run_online(rec, word).space
+        table.add_row(
+            k,
+            word_length(k),
+            space.classical_bits,
+            space.qubits,
+            space.total,
+            space.total / np.log2(word_length(k)),
+        )
+    table.note("total/log2(n) settles toward a constant: the O(log n) claim")
+    record_table(table, "e1_space_profile")
+
+    word = member(2, np.random.default_rng(2))
+    benchmark(lambda: run_online(QuantumOnlineRecognizer(rng=1), word).accepted)
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_e1_streaming_pass_scaling(benchmark, k):
+    """Wall-clock of one recognizer pass as the stream grows 8x per k."""
+    word = member(k, np.random.default_rng(k))
+
+    def one_pass():
+        return run_online(QuantumOnlineRecognizer(rng=1), word).accepted
+
+    assert benchmark(one_pass)

@@ -1,0 +1,82 @@
+"""E4 — Proposition 3.7: classical space is Theta(n^{1/3}), measured.
+
+Streams members through the blockwise machine and the full-storage
+baseline, fits the measured peak bits against n^{1/3} (and n^{2/3} for
+the baseline), and checks the envelope constants are stable — the
+finite-data reading of the Theta claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.bounds import doubling_exponent, envelope_is_stable
+from repro.core import (
+    BlockwiseClassicalRecognizer,
+    FullStorageClassicalRecognizer,
+    member,
+)
+from repro.core.language import word_length
+from repro.streaming import run_online
+
+K_RANGE = (1, 2, 3, 4, 5)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    rows = []
+    for k in K_RANGE:
+        word = member(k, np.random.default_rng(k))
+        bw = run_online(BlockwiseClassicalRecognizer(rng=k), word).space
+        fs = run_online(FullStorageClassicalRecognizer(), word).space
+        rows.append(
+            {
+                "k": k,
+                "n": word_length(k),
+                "blockwise": bw.classical_bits,
+                "chunk": bw.registers.get("bw.chunk", 0),
+                "full": fs.classical_bits,
+                "strings": fs.registers.get("fs.x", 0) + fs.registers.get("fs.y", 0),
+            }
+        )
+    return rows
+
+
+def test_e4_space_table(benchmark, record_table, measured):
+    table = Table(
+        "E4 - Prop 3.7: measured classical space (bits) vs input length",
+        ["k", "n=|w|", "blockwise total", "chunk register", "n^(1/3)",
+         "full-storage total", "x+y registers", "n^(2/3)"],
+    )
+    for row in measured:
+        table.add_row(
+            row["k"],
+            row["n"],
+            row["blockwise"],
+            row["chunk"],
+            row["n"] ** (1 / 3),
+            row["full"],
+            row["strings"],
+            row["n"] ** (2 / 3),
+        )
+    table.note("chunk register == 2^k exactly; the O(k) A1/A2 overhead rides on top")
+    record_table(table, "e4_classical_space")
+
+    word = member(2, np.random.default_rng(2))
+    benchmark(lambda: run_online(BlockwiseClassicalRecognizer(rng=1), word).accepted)
+
+
+def test_e4_shape_fits(benchmark, measured):
+    xs = [r["n"] for r in measured]
+    # The dominant chunk register is exactly n^{1/3}-shaped.
+    assert doubling_exponent(xs, [r["chunk"] for r in measured]) == pytest.approx(
+        1 / 3, abs=0.02
+    )
+    # Total blockwise space: stable cube-root envelope.
+    assert envelope_is_stable(xs, [r["blockwise"] for r in measured],
+                              lambda n: n ** (1 / 3), slack=1.6)
+    # Full storage: stable n^{2/3} envelope for the string registers.
+    assert doubling_exponent(xs, [r["strings"] for r in measured]) == pytest.approx(
+        2 / 3, abs=0.04  # n carries a +3*2^k lower-order term that biases small k
+    )
+    benchmark(lambda: doubling_exponent(xs, [r["chunk"] for r in measured]))

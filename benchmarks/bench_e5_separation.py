@@ -1,0 +1,76 @@
+"""E5 — the headline exponential separation, as a measured table.
+
+One row per k: the same member word streamed through the Theorem 3.4
+quantum recognizer and the Proposition 3.7 classical machine.  The
+quantum column is O(log n) (both bits and qubits); the classical column
+carries the 2^k = n^{1/3} chunk register.  The quantity that makes the
+separation *exponential* is the classical-minus-quantum gap as a
+function of k = Theta(log n): it doubles with every step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.bounds import envelope_is_stable, growth_ratio
+from repro.core import separation_table
+
+K_RANGE = [1, 2, 3, 4, 5, 6]
+
+
+@pytest.fixture(scope="module")
+def table_rows():
+    return separation_table(K_RANGE, rng=2006, include_full_storage=True)
+
+
+def test_e5_headline_table(benchmark, record_table, table_rows):
+    table = Table(
+        "E5 - quantum vs classical online space for L_DISJ (measured bits)",
+        ["k", "n=|w|", "quantum bits", "qubits", "quantum total",
+         "classical (Prop 3.7)", "gap", "full storage", "classical/quantum"],
+    )
+    for r in table_rows:
+        table.add_row(
+            r.k, r.n, r.quantum_classical_bits, r.qubits, r.quantum_total,
+            r.classical_bits, r.gap, r.full_storage_bits, r.ratio,
+        )
+    table.note("quantum total ~ c*log n; classical ~ n^(1/3) + c'*log n;")
+    table.note("the gap (classical - quantum) doubles per k: exponential in k")
+    record_table(table, "e5_separation")
+
+    benchmark(lambda: separation_table([1], rng=0))
+
+
+def test_e5_core_registers(benchmark, record_table, table_rows):
+    """The separation with the shared A1/A2 bookkeeping factored out:
+    the Grover register (2k+2 qubits) vs the chunk register (2^k bits)."""
+    table = Table(
+        "E5 - core k-dependent memory: Grover register vs chunk register",
+        ["k", "n=|w|", "quantum core (qubits)", "classical core (bits)",
+         "core ratio", "2^k/(2k+2)"],
+    )
+    for r in table_rows:
+        table.add_row(
+            r.k, r.n, r.quantum_core, r.classical_core_bits, r.core_ratio,
+            (1 << r.k) / (2 * r.k + 2),
+        )
+    table.note("log n qubits vs n^(1/3) bits: the paper's separation with no")
+    table.note("shared-overhead noise; the ratio grows geometrically in k")
+    record_table(table, "e5_core_registers")
+    ratios = [r.core_ratio for r in table_rows]
+    assert all(b > a for a, b in zip(ratios[2:], ratios[3:]))
+
+    benchmark(lambda: [r.core_ratio for r in table_rows])
+
+
+def test_e5_shapes(benchmark, table_rows):
+    xs = [r.n for r in table_rows]
+    q_total = [r.quantum_total for r in table_rows]
+    assert envelope_is_stable(xs, q_total, lambda n: np.log2(n))
+
+    gaps = [r.classical_bits - r.quantum_classical_bits for r in table_rows]
+    ratios = growth_ratio(gaps)
+    # Geometric growth of the gap: every consecutive ratio >= 1.5 once the
+    # 2^k term dominates.
+    assert all(rho >= 1.5 for rho in ratios[1:])
+    benchmark(lambda: growth_ratio(gaps))

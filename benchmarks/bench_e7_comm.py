@@ -1,0 +1,81 @@
+"""E7 — Theorem 3.1/3.2 context: quantum vs classical communication.
+
+Measured BCW costs against the classical baseline and the exact small-n
+lower bounds; locates the crossover where sqrt(n) log n beats n.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.analysis.bounds import envelope_is_stable
+from repro.comm import (
+    BCWDisjointnessProtocol,
+    TrivialOneWayProtocol,
+    disjoint_pair,
+)
+from repro.comm.lowerbounds import disj_exact_bounds
+
+
+def test_e7_cost_table(benchmark, record_table):
+    table = Table(
+        "E7 - DISJ_n communication: quantum (BCW, worst case) vs classical",
+        ["k", "n", "classical bits", "BCW qubits", "msg qubits", "rounds",
+         "quantum < classical"],
+    )
+    xs, ys = [], []
+    for k in range(1, 9):
+        n = 1 << (2 * k)
+        cost = BCWDisjointnessProtocol(k).worst_case_cost()
+        xs.append(n)
+        ys.append(cost["qubits"])
+        table.add_row(
+            k, n, n, cost["qubits"], cost["qubits_per_message"],
+            cost["rounds"], cost["qubits"] < n,
+        )
+    table.note("crossover at n = 1024 (k = 5); shape is (2 sqrt(n)-1)(2k+2)")
+    table.note("= O(sqrt(n) log n), Theorem 3.1's bound")
+    record_table(table, "e7_cost_table")
+    assert envelope_is_stable(xs, ys, lambda n: np.sqrt(n) * np.log2(n))
+
+    benchmark(lambda: BCWDisjointnessProtocol(6).worst_case_cost())
+
+
+def test_e7_live_protocol_cost(benchmark, record_table):
+    """Measured (not formula) transcript costs of actual protocol runs."""
+    rng = np.random.default_rng(0)
+    table = Table(
+        "E7 - measured transcript costs of live runs (disjoint inputs)",
+        ["k", "n", "trivial bits", "BCW qubits (run)", "BCW classical bits (run)"],
+    )
+    for k in (1, 2, 3):
+        n = 1 << (2 * k)
+        x, y = disjoint_pair(n, rng)
+        trivial = TrivialOneWayProtocol().run(x, y, rng)
+        bcw = BCWDisjointnessProtocol(k).run(x, y, np.random.default_rng(k))
+        table.add_row(
+            k, n,
+            trivial.transcript.classical_bits,
+            bcw.transcript.qubits,
+            bcw.transcript.classical_bits,
+        )
+    record_table(table, "e7_live_runs")
+
+    x, y = disjoint_pair(16, rng)
+    benchmark(lambda: BCWDisjointnessProtocol(2).run(x, y, np.random.default_rng(1)))
+
+
+def test_e7_exact_lower_bounds(benchmark, record_table):
+    table = Table(
+        "E7 - exact classical lower bounds for DISJ_n (computed, small n)",
+        ["n", "fooling-set bits", "one-way bits", "log-rank bits", "all = n"],
+    )
+    for n in (1, 2, 3, 4, 5, 6):
+        b = disj_exact_bounds(n)
+        ok = b["fooling_set_bits"] == b["one_way_bits"] == b["log_rank_bits"] == n
+        table.add_row(n, b["fooling_set_bits"], b["one_way_bits"],
+                      b["log_rank_bits"], ok)
+    record_table(table, "e7_exact_lower_bounds")
+    assert all(row[-1] == "yes" for row in table.rows)
+
+    benchmark(lambda: disj_exact_bounds(5))

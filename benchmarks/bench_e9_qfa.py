@@ -1,0 +1,56 @@
+"""E9 — footnote 2: QFA vs DFA state counts for L_p.
+
+The companion separation: exact minimal DFA sizes (p) against the
+certified Ambainis-Freivalds QFA sizes (O(log p)).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import Table
+from repro.qfa import (
+    af_qfa_for_mod_language,
+    minimize_dfa,
+    mod_dfa,
+    unary_myhill_nerode_index,
+    worst_nonmember_acceptance,
+)
+
+
+def test_e9_state_counts(benchmark, record_table):
+    rng = np.random.default_rng(9)
+    table = Table(
+        "E9 - states for L_p = {a^i : p | i} at bounded error (<= 3/4 wrong-accept)",
+        ["p", "DFA states", "MN index", "QFA states", "2 ceil(log2 p)",
+         "worst wrong-accept", "QFA < DFA"],
+    )
+    for p in (5, 13, 31, 61, 127, 251):
+        qfa, mult = af_qfa_for_mod_language(p, target=0.75, rng=rng)
+        dfa_states = minimize_dfa(mod_dfa(p)).size
+        mn = unary_myhill_nerode_index(lambda i, p=p: i % p == 0, 2 * p + 2)
+        table.add_row(
+            p, dfa_states, mn, qfa.size, 2 * math.ceil(math.log2(p)),
+            worst_nonmember_acceptance(p, mult), qfa.size < dfa_states,
+        )
+    table.note("DFA states = Myhill-Nerode index = p exactly; QFA states grow")
+    table.note("logarithmically — footnote 2's exponential state saving")
+    record_table(table, "e9_qfa_states")
+    assert all(row[-1] == "yes" for row in table.rows)
+
+    benchmark(lambda: af_qfa_for_mod_language(31, rng=np.random.default_rng(1)))
+
+
+def test_e9_acceptance_profile(benchmark, record_table):
+    p = 31
+    qfa, mult = af_qfa_for_mod_language(p, rng=np.random.default_rng(2))
+    table = Table(
+        f"E9 - acceptance profile of the AF automaton (p = {p}, {qfa.size} states)",
+        ["word", "Pr[accept]", "member"],
+    )
+    for i in (0, 1, p // 2, p - 1, p, 2 * p, 3 * p + 1):
+        table.add_row(f"a^{i}", qfa.acceptance_probability("a" * i), i % p == 0)
+    record_table(table, "e9_acceptance_profile")
+
+    benchmark(lambda: qfa.acceptance_probability("a" * (2 * p)))

@@ -1,0 +1,95 @@
+"""Substrate performance benchmarks (pytest-benchmark kernels).
+
+Not paper experiments — these time the simulation kernels themselves so
+regressions in the vectorized hot paths (state-vector ops, the
+Walsh-Hadamard diffusion, exact distribution propagation, streaming
+throughput) are visible.  The HPC-guide disciplines (contiguous
+complex128 buffers, views over copies, no per-amplitude Python loops)
+are what these numbers reflect.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machines import disjointness_machine
+from repro.machines.distributions import acceptance_probability
+from repro.quantum import A3Registers, GroverA3
+from repro.quantum.operators import UkOperator, VxOperator, initial_phi
+
+
+@pytest.mark.parametrize("k", [3, 5, 7])
+def test_statevector_grover_iteration(benchmark, k):
+    """One full Grover iteration at 2k+2 qubits (up to 65536 amplitudes)."""
+    n = 1 << (2 * k)
+    rng = np.random.default_rng(k)
+    x = "".join(rng.choice(list("01"), n))
+    y = "".join(rng.choice(list("01"), n))
+    g = GroverA3(k, x, y)
+    vec = initial_phi(g.regs)
+
+    def iterate():
+        return g.iterate(vec.copy())
+
+    out = benchmark(iterate)
+    assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-8)
+
+
+@pytest.mark.parametrize("k", [4, 6, 8])
+def test_walsh_hadamard_diffusion(benchmark, k):
+    regs = A3Registers(k)
+    vec = initial_phi(regs)
+    op = UkOperator(regs)
+
+    def apply():
+        return op.apply(vec)
+
+    out = benchmark(apply)
+    assert out.size == regs.dimension
+
+
+def test_vx_permutation_throughput(benchmark):
+    k = 7
+    regs = A3Registers(k)
+    rng = np.random.default_rng(0)
+    x = "".join(rng.choice(list("01"), regs.string_length))
+    op = VxOperator(regs, x)
+    vec = initial_phi(regs)
+
+    out = benchmark(lambda: op.apply(vec))
+    assert out.size == regs.dimension
+
+
+def test_exact_propagation_throughput(benchmark):
+    machine = disjointness_machine(6)
+    word = "101010#010101"
+
+    result = benchmark(lambda: acceptance_probability(machine, word))
+    assert result == 1
+
+
+def test_streaming_throughput(benchmark):
+    """Symbols/second through the full quantum recognizer (k = 2)."""
+    from repro.core import QuantumOnlineRecognizer, member
+    from repro.streaming import run_online
+
+    word = member(2, np.random.default_rng(0))
+
+    def one_pass():
+        return run_online(QuantumOnlineRecognizer(rng=1), word).symbols
+
+    assert benchmark(one_pass) == len(word)
+
+
+def test_fingerprint_streaming_throughput(benchmark):
+    from repro.mathx.modular import StreamingPolynomialEvaluator
+    from repro.mathx.primes import fingerprint_prime
+
+    p = fingerprint_prime(4)
+    bits = np.random.default_rng(0).integers(0, 2, size=4096).tolist()
+
+    def stream():
+        ev = StreamingPolynomialEvaluator(12345, p)
+        ev.feed_bits(bits)
+        return ev.value
+
+    assert benchmark(stream) >= 0

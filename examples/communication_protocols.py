@@ -1,0 +1,71 @@
+"""Quantum vs classical communication for Disjointness (Theorem 3.1/3.2).
+
+Runs the actual BCW protocol (message passing; players hold only the
+last message) against classical baselines, printing measured costs and
+the exact small-n classical lower bounds.
+
+Run:  python examples/communication_protocols.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.comm import (
+    BCWDisjointnessProtocol,
+    TrivialOneWayProtocol,
+    disjoint_pair,
+    intersecting_pair,
+)
+from repro.comm.lowerbounds import disj_exact_bounds
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+
+    table = Table(
+        "DISJ_n communication: measured protocol costs",
+        ["n", "classical bits (trivial)", "BCW qubits (worst case)",
+         "BCW msg size", "BCW rounds"],
+    )
+    for k in range(1, 8):
+        n = 1 << (2 * k)
+        x, y = disjoint_pair(n, rng)
+        trivial = TrivialOneWayProtocol().run(x, y, rng)
+        cost = BCWDisjointnessProtocol(k).worst_case_cost()
+        table.add_row(
+            n,
+            trivial.transcript.classical_bits,
+            cost["qubits"],
+            cost["qubits_per_message"],
+            cost["rounds"],
+        )
+    table.note("quantum cost ~ sqrt(n) * log n crosses below n at n = 1024")
+    table.print()
+
+    table2 = Table(
+        "Exact classical lower bounds (small n, computed not cited)",
+        ["n", "fooling-set bits", "one-way bits", "log-rank bits"],
+    )
+    for n in (2, 3, 4, 5, 6):
+        b = disj_exact_bounds(n)
+        table2.add_row(n, b["fooling_set_bits"], b["one_way_bits"], b["log_rank_bits"])
+    table2.note("all three match n exactly: the finite shadow of Omega(n)")
+    table2.print()
+
+    # One live protocol run, to show the one-sided error in action.
+    k = 2
+    proto = BCWDisjointnessProtocol(k, sample_measurement=True)
+    x, y = intersecting_pair(1 << (2 * k), 3, rng)
+    detections = sum(
+        1 - proto.run(x, y, np.random.default_rng(100 + i)).output for i in range(40)
+    )
+    print(
+        f"live BCW runs on an intersecting pair (t=3, n=16): "
+        f"{detections}/40 runs detected the intersection "
+        f"(exact per-run probability "
+        f"{proto.exact_detection_probability(x, y):.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

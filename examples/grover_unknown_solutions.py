@@ -1,0 +1,58 @@
+"""Grover search when the number of solutions is unknown (BBHT).
+
+Procedure A3 cannot know how many indices intersect (t), so it cannot
+pick the optimal Grover iteration count.  This example shows, with exact
+state-vector simulation:
+
+1. per-iteration success probabilities sin^2((2j+1) theta) for several t;
+2. why any FIXED j fails for some t (ablation A-j);
+3. how the BBHT randomized-j average stays >= 1/4 for every t — the
+   inequality Theorem 3.4 rests on.
+
+Run:  python examples/grover_unknown_solutions.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.comm.disjointness import intersecting_pair
+from repro.mathx.angles import average_success_probability
+from repro.quantum import GroverA3
+from repro.quantum.bbht import fixed_j_success, worst_case_fixed_j, worst_case_random_j
+
+
+def main() -> None:
+    k = 3
+    n = 1 << (2 * k)  # 64
+    m = 1 << k        # 8 iteration choices
+
+    table = Table(
+        f"Exact detection probability, N = {n} (simulated vs closed form)",
+        ["t"] + [f"j={j}" for j in range(4)] + ["BBHT avg", "formula"],
+    )
+    rng = np.random.default_rng(0)
+    for t in (1, 4, 16, 32, 63):
+        x, y = intersecting_pair(n, t, rng)
+        g = GroverA3(k, x, y)
+        per_j = [g.detection_probability(j) for j in range(4)]
+        table.add_row(
+            t, *per_j, g.average_detection_probability(),
+            average_success_probability(t, n, m),
+        )
+    table.note("simulated and analytic values agree to float precision")
+    table.print()
+
+    table2 = Table(
+        "Worst case over all t in 1..N-1: fixed j vs BBHT random j",
+        ["strategy", "min_t Pr[detect]"],
+    )
+    for j in range(m):
+        table2.add_row(f"fixed j={j}", worst_case_fixed_j(n, j, range(1, n)))
+    table2.add_row(f"random j < {m} (BBHT)", worst_case_random_j(n, m, range(1, n)))
+    table2.note("every fixed j collapses for some t; the randomized choice")
+    table2.note("never drops below 1/4 — the paper's key inequality")
+    table2.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Why "online" matters: the same language, three access models.
+
+The paper's exponential separation is a statement about ONE-WAY input.
+This example decides the same L_DISJ words three ways:
+
+1. quantum online (Theorem 3.4)           — O(log n) bits + qubits,
+2. classical online (Proposition 3.7)     — Theta(n^{1/3}) bits,
+3. classical OFFLINE, two-way input head  — O(log n) bits, zero error.
+
+With two-way access, everything an online machine must remember can be
+re-read, so the classical offline column collapses to logarithmic —
+consistent with Watrous's theorem that offline quantum space helps by
+at most a quadratic factor.
+
+Run:  python examples/online_vs_offline.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import (
+    BlockwiseClassicalRecognizer,
+    OfflineLogspaceRecognizer,
+    QuantumOnlineRecognizer,
+    member,
+)
+from repro.streaming import run_online, run_online_traced, is_flat_after
+
+
+def main() -> None:
+    offline = OfflineLogspaceRecognizer()
+    table = Table(
+        "L_DISJ: measured space under three input-access models (bits)",
+        ["k", "n", "quantum online", "classical online", "classical offline",
+         "offline input reads"],
+    )
+    for k in (1, 2, 3, 4):
+        word = member(k, np.random.default_rng(k))
+        q = run_online(QuantumOnlineRecognizer(rng=k), word).space
+        c = run_online(BlockwiseClassicalRecognizer(rng=k), word).space
+        o = offline.decide(word)
+        table.add_row(
+            k, len(word), f"{q.classical_bits}b+{q.qubits}q",
+            f"{c.classical_bits}b", f"{o.space.classical_bits}b", o.reads,
+        )
+    table.note("offline re-reads instead of remembering: log-space, zero error;")
+    table.note("the exponential gap exists only between the two ONLINE columns")
+    table.print()
+
+    # The streaming signature: flat space profiles after the header.
+    k = 2
+    word = member(k, np.random.default_rng(0))
+    _, trace = run_online_traced(QuantumOnlineRecognizer(rng=0), word, samples=16)
+    print("quantum online space profile (symbols consumed -> live bits):")
+    print("  " + "  ".join(f"{p.symbols}:{p.live_bits}" for p in trace[:10]))
+    print(f"  flat after the 1^k# header: {is_flat_after(trace, k + 2)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Scenario: detecting a common record between two streamed bitmaps.
+
+The paper's introduction motivates online space complexity with inputs
+"far beyond the capacity of the memory", like data from large databases.
+This example plays that scenario out: two services publish bitmap
+snapshots of the record IDs they hold (x for service A, y for service
+B), and the snapshots alternate over the wire exactly in the paper's
+(x#y#x#)-repeated format.  The monitor must flag whether any record ID
+is present in BOTH services — the Disjointness predicate — without ever
+storing the bitmaps.
+
+We compare three monitors at increasing k:
+
+* the quantum streaming monitor (Theorem 3.4) — O(log n) total space;
+* the chunked classical monitor (Proposition 3.7) — Theta(n^{1/3});
+* the naive monitor that stores the bitmaps — Theta(n^{2/3}).
+
+Run:  python examples/streaming_database_intersection.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.core import (
+    BlockwiseClassicalRecognizer,
+    FullStorageClassicalRecognizer,
+    QuantumOnlineRecognizer,
+    ldisj_word,
+)
+from repro.comm.disjointness import intersecting_pair, disjoint_pair
+from repro.core.language import string_length
+from repro.streaming import run_online
+
+
+def build_feed(k: int, shared_records: int, rng) -> str:
+    """The wire format: bitmaps interleaved as 1^k#(x#y#x#)^{2^k}."""
+    n = string_length(k)
+    if shared_records == 0:
+        x, y = disjoint_pair(n, rng)
+    else:
+        x, y = intersecting_pair(n, shared_records, rng)
+    return ldisj_word(k, x, y)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    table = Table(
+        "Streaming intersection monitors (did the services share a record?)",
+        ["k", "bitmap bits", "feed symbols", "shared", "quantum", "q.space",
+         "classical", "c.space", "naive", "n.space"],
+    )
+    for k in (1, 2, 3):
+        for shared in (0, 2):
+            feed = build_feed(k, shared, rng)
+            q = run_online(QuantumOnlineRecognizer(rng=1), feed)
+            c = run_online(BlockwiseClassicalRecognizer(rng=1), feed)
+            f = run_online(FullStorageClassicalRecognizer(), feed)
+            table.add_row(
+                k,
+                string_length(k),
+                len(feed),
+                shared,
+                "no-overlap" if q.accepted else "OVERLAP",
+                f"{q.space.classical_bits}b+{q.space.qubits}q",
+                "no-overlap" if c.accepted else "OVERLAP",
+                f"{c.space.classical_bits}b",
+                "no-overlap" if f.accepted else "OVERLAP",
+                f"{f.space.classical_bits}b",
+            )
+    table.note("OVERLAP verdicts from the quantum monitor are one-sided:")
+    table.note("a clean feed is never flagged; a dirty feed is flagged w.p. >= 1/4")
+    table.note("per pass (amplify with independent copies, Corollary 3.5).")
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Classical streaming sketches on the same metered substrate.
+
+The paper situates its model in the streaming-algorithms world and hopes
+for "space-efficient quantum algorithms solving concrete problems for
+data streams".  The classical members of that world run on this
+library's metered substrate too — same one-way streams, same measured
+bits — so the L_DISJ recognizers can be compared against the classic
+sketches side by side.
+
+Run:  python examples/streaming_sketches.py
+"""
+
+import numpy as np
+
+from repro.analysis import Table
+from repro.streaming import (
+    AmsF2Estimator,
+    MisraGriesHeavyHitters,
+    MorrisCounter,
+    ReservoirSampler,
+    run_online,
+)
+from repro.streaming.algorithms import exact_f2
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    stream = "".join(rng.choice(list("011#"), 4000))  # '1'-heavy ternary stream
+
+    table = Table(
+        f"Classic streaming sketches over a {len(stream)}-symbol stream",
+        ["sketch", "answer", "exact", "measured bits"],
+    )
+
+    morris = MorrisCounter(rng=1)
+    r = run_online(morris, stream)
+    table.add_row("Morris counter (#items)", f"{r.output:.0f}", len(stream),
+                  r.space.classical_bits)
+
+    mg = MisraGriesHeavyHitters(k=3)
+    r = run_online(mg, stream)
+    ones = stream.count("1")
+    table.add_row("Misra-Gries ('1' count)", r.output.get("1", 0), ones,
+                  r.space.classical_bits)
+
+    ams = AmsF2Estimator(copies=32, rng=2, max_stream=len(stream))
+    r = run_online(ams, stream)
+    table.add_row("AMS F2", f"{r.output:.0f}", exact_f2(stream),
+                  r.space.classical_bits)
+
+    res = ReservoirSampler(rng=3, max_stream=len(stream))
+    r = run_online(res, stream)
+    table.add_row("reservoir (uniform position)", r.output, "-",
+                  r.space.classical_bits)
+
+    table.note("all sublinear in the stream length, all measured by the same")
+    table.note("Workspace that meters the paper's recognizers")
+    table.print()
+
+
+if __name__ == "__main__":
+    main()

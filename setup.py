@@ -1,0 +1,17 @@
+"""Legacy setup shim so ``pip install -e .`` works without the ``wheel``
+package (offline environments with older setuptools)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Le Gall (SPAA 2006): exponential separation of "
+        "quantum and classical online space complexity"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,60 @@
+"""repro — reproduction of Le Gall (SPAA 2006), *Exponential Separation
+of Quantum and Classical Online Space Complexity*.
+
+Quick start::
+
+    from repro import core
+    from repro.streaming import run_online
+
+    word = core.member(k=2, rng=7)          # a member of L_DISJ
+    machine = core.QuantumOnlineRecognizer(rng=7)
+    result = run_online(machine, word)
+    print(result.accepted, result.space.classical_bits, result.space.qubits)
+
+Packages
+--------
+* :mod:`repro.core`      — L_DISJ, the quantum recognizer (Thm 3.4),
+  amplification (Cor 3.5), classical recognizers (Prop 3.7), separation.
+* :mod:`repro.quantum`   — state vectors, the gate set G = {H, T, CNOT},
+  Definition 2.3 circuits and their exact Clifford+T compilation.
+* :mod:`repro.machines`  — online probabilistic Turing machines
+  (Definition 2.1) with exact distribution propagation.
+* :mod:`repro.comm`      — communication complexity: DISJ, the BCW
+  quantum protocol, fingerprint equality, exact small-n lower bounds,
+  and the Theorem 3.6 machine-to-protocol reduction.
+* :mod:`repro.streaming` — one-way streams, bit-metered workspaces and
+  online-algorithm composition.
+* :mod:`repro.qfa`       — quantum finite automata (the footnote-2
+  Ambainis-Freivalds state-count separation).
+* :mod:`repro.mathx`     — primes, modular arithmetic, Grover angles.
+* :mod:`repro.analysis`  — Fact 2.2 counting, report tables, sweeps.
+"""
+
+from . import alphabet, errors, rng
+from .core import (
+    QuantumOnlineRecognizer,
+    BlockwiseClassicalRecognizer,
+    FullStorageClassicalRecognizer,
+    in_ldisj,
+    ldisj_word,
+    member,
+    separation_table,
+)
+from .streaming import run_online
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "alphabet",
+    "errors",
+    "rng",
+    "QuantumOnlineRecognizer",
+    "BlockwiseClassicalRecognizer",
+    "FullStorageClassicalRecognizer",
+    "in_ldisj",
+    "ldisj_word",
+    "member",
+    "separation_table",
+    "run_online",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Analysis and reporting utilities shared by the benchmarks.
+
+* :mod:`repro.analysis.counting` — Fact 2.2 arithmetic and the
+  TM-cells/register-bits correspondence.
+* :mod:`repro.analysis.bounds` — the paper's asymptotic claims as
+  checkable envelope predicates (is this curve O(log n)?  Theta(n^{1/3})?).
+* :mod:`repro.analysis.report` — plain-text tables (the benchmarks
+  print paper-style rows through these).
+* :mod:`repro.analysis.sweep` — tiny parameter-sweep harness.
+"""
+
+from .counting import (
+    fact_2_2_bound,
+    space_needed_for_configurations,
+    registers_to_cells,
+    cells_to_registers,
+    check_fact_2_2,
+)
+from .bounds import (
+    fit_log_curve,
+    fit_power_curve,
+    is_bounded_by,
+    growth_ratio,
+)
+from .report import Table
+from .sweep import sweep
+
+__all__ = [
+    "fact_2_2_bound",
+    "space_needed_for_configurations",
+    "registers_to_cells",
+    "cells_to_registers",
+    "check_fact_2_2",
+    "fit_log_curve",
+    "fit_power_curve",
+    "is_bounded_by",
+    "growth_ratio",
+    "Table",
+    "sweep",
+]

@@ -1,0 +1,79 @@
+"""Fact 2.2 arithmetic and the bits <-> cells correspondence.
+
+The streaming layer measures space in *register bits*; Definition 2.1
+measures it in *work-tape cells* over the ternary alphabet.  The
+correspondence is the standard one:
+
+* b register bits fit in ``ceil(b / log2 3)`` ternary cells (pack bits
+  into cells), so a register machine with b bits is an OPTM with
+  O(b) cells and a constant-factor-larger state set;
+* s ternary cells hold at most ``s * log2 3`` bits of information, so
+  the conversion is tight up to the constant log2(3) ~ 1.585.
+
+:func:`check_fact_2_2` verifies the Fact 2.2 bound against exhaustive
+configuration enumeration of real machines (used in tests and E8).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from ..machines.configuration import (
+    fact_2_2_bound,
+    space_needed_for_configurations,
+)
+from ..machines.distributions import reachable_configurations
+from ..machines.optm import OPTM
+
+LOG2_3 = math.log2(3.0)
+
+
+def registers_to_cells(bits: int) -> int:
+    """Ternary work-tape cells needed to store *bits* register bits."""
+    if bits < 0:
+        raise ValueError("bits must be non-negative")
+    return math.ceil(bits / LOG2_3)
+
+
+def cells_to_registers(cells: int) -> int:
+    """Register bits representable in *cells* ternary cells (floor)."""
+    if cells < 0:
+        raise ValueError("cells must be non-negative")
+    return math.floor(cells * LOG2_3)
+
+
+def check_fact_2_2(machine: OPTM, words: Iterable[str], max_steps: int = 10_000) -> dict:
+    """Compare the Fact 2.2 bound with exhaustively counted configurations.
+
+    Returns the observed configuration count (union over the given
+    words), the worst-case cells used, and the bound evaluated at those
+    parameters; ``ok`` is True when observed <= bound, which Fact 2.2
+    guarantees.
+    """
+    words = list(words)
+    if not words:
+        raise ValueError("need at least one word")
+    seen = set()
+    cells = 1
+    n = 1
+    for word in words:
+        configs = reachable_configurations(machine, word, max_steps=max_steps)
+        seen |= configs
+        cells = max(cells, max(c.cells_used() for c in configs))
+        n = max(n, len(word))
+    bound = fact_2_2_bound(
+        n=max(n, 1) + 1,  # count the past-the-end head position too
+        s=cells,
+        sigma=machine.work_alphabet_size(),
+        q=machine.state_count(),
+    )
+    return {
+        "observed_configurations": len(seen),
+        "cells_used": cells,
+        "input_length": n,
+        "sigma": machine.work_alphabet_size(),
+        "states": machine.state_count(),
+        "bound": bound,
+        "ok": len(seen) <= bound,
+    }

@@ -1,0 +1,35 @@
+"""A tiny parameter-sweep harness.
+
+Benchmarks sweep k, t, r, block sizes...; this helper keeps the loops
+uniform and the results keyed, nothing more.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+
+def sweep(
+    fn: Callable[..., Any],
+    **axes: Iterable[Any],
+) -> List[Tuple[Dict[str, Any], Any]]:
+    """Evaluate fn over the cartesian product of keyword axes.
+
+    ``sweep(f, k=[1,2], t=[0,1])`` returns
+    ``[({'k':1,'t':0}, f(k=1,t=0)), ...]`` in row-major order.
+    """
+    names = list(axes)
+    values = [list(axes[name]) for name in names]
+    results: List[Tuple[Dict[str, Any], Any]] = []
+
+    def rec(i: int, current: Dict[str, Any]) -> None:
+        if i == len(names):
+            results.append((dict(current), fn(**current)))
+            return
+        for v in values[i]:
+            current[names[i]] = v
+            rec(i + 1, current)
+        current.pop(names[i], None)
+
+    rec(0, {})
+    return results

@@ -1,0 +1,199 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+* ``info``        — library, paper and model summary.
+* ``recognize``   — stream a word (or a generated instance) through the
+  quantum and classical recognizers and report decisions + space.
+* ``separation``  — print the headline E5 table for a k-range.
+* ``grover``      — the BBHT success-probability table for one k.
+* ``comm``        — quantum vs classical communication costs for DISJ.
+* ``qfa``         — the footnote-2 automata state-count table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from . import __version__
+
+    print(f"repro {__version__}")
+    print(
+        "Reproduction of: F. Le Gall, 'Exponential Separation of Quantum and\n"
+        "Classical Online Space Complexity', SPAA 2006 (quant-ph/0606066).\n"
+        "\n"
+        "Main objects:\n"
+        "  L_DISJ        1^k#(x#y#x#)^{2^k} with x, y disjoint, |x| = 2^{2k}\n"
+        "  Theorem 3.4   quantum online recognizer, O(log n) space\n"
+        "  Theorem 3.6   classical online lower bound Omega(n^{1/3})\n"
+        "  Prop. 3.7     classical online upper bound O(n^{1/3})\n"
+        "\n"
+        "See DESIGN.md for the system inventory, EXPERIMENTS.md for the\n"
+        "paper-vs-measured record, benchmarks/ for the regeneration harness."
+    )
+    return 0
+
+
+def _cmd_recognize(args: argparse.Namespace) -> int:
+    from .core import (
+        QuantumOnlineRecognizer,
+        BlockwiseClassicalRecognizer,
+        in_ldisj,
+        intersecting_nonmember,
+        malformed_nonmember,
+        member,
+    )
+    from .core.quantum_recognizer import exact_acceptance_probability
+    from .streaming import run_online
+
+    if args.word:
+        word = args.word
+    elif args.kind == "member":
+        word = member(args.k, np.random.default_rng(args.seed))
+    elif args.kind == "intersecting":
+        word = intersecting_nonmember(args.k, args.t, np.random.default_rng(args.seed))
+    else:
+        word = malformed_nonmember(args.k, args.kind, np.random.default_rng(args.seed))
+
+    print(f"|w| = {len(word)}; in L_DISJ: {in_ldisj(word)}")
+    q = run_online(QuantumOnlineRecognizer(rng=args.seed), word)
+    print(
+        f"quantum  : accepted={q.accepted}  "
+        f"{q.space.classical_bits} bits + {q.space.qubits} qubits"
+    )
+    try:
+        print(f"           exact Pr[accept] = {exact_acceptance_probability(word):.6f}")
+    except ValueError as exc:
+        print(f"           exact analysis unavailable: {exc}")
+    c = run_online(BlockwiseClassicalRecognizer(rng=args.seed), word)
+    print(f"classical: accepted={c.accepted}  {c.space.classical_bits} bits")
+    return 0
+
+
+def _cmd_separation(args: argparse.Namespace) -> int:
+    from .analysis import Table
+    from .core import separation_table
+
+    rows = separation_table(
+        list(range(args.k_min, args.k_max + 1)), rng=args.seed
+    )
+    table = Table(
+        "Measured online space for L_DISJ (bits / qubits)",
+        ["k", "n", "quantum bits", "qubits", "classical bits", "gap"],
+    )
+    for r in rows:
+        table.add_row(r.k, r.n, r.quantum_classical_bits, r.qubits,
+                      r.classical_bits, r.gap)
+    table.print()
+    return 0
+
+
+def _cmd_grover(args: argparse.Namespace) -> int:
+    from .analysis import Table
+    from .mathx.angles import average_success_probability
+
+    n = 1 << (2 * args.k)
+    m = 1 << args.k
+    table = Table(
+        f"BBHT average detection probability, N = {n}, j uniform < {m}",
+        ["t", "Pr[detect]", ">= 1/4"],
+    )
+    step = max(1, n // 16)
+    for t in list(range(1, n, step)) + [n]:
+        p = average_success_probability(t, n, m)
+        table.add_row(t, p, p >= 0.25)
+    table.print()
+    return 0
+
+
+def _cmd_comm(args: argparse.Namespace) -> int:
+    from .analysis import Table
+    from .comm import BCWDisjointnessProtocol
+
+    table = Table(
+        "DISJ_n communication: classical n bits vs BCW (worst case)",
+        ["k", "n", "classical bits", "BCW qubits", "rounds", "msg qubits"],
+    )
+    for k in range(1, args.k_max + 1):
+        n = 1 << (2 * k)
+        cost = BCWDisjointnessProtocol(k).worst_case_cost()
+        table.add_row(k, n, n, cost["qubits"], cost["rounds"],
+                      cost["qubits_per_message"])
+    table.print()
+    return 0
+
+
+def _cmd_qfa(args: argparse.Namespace) -> int:
+    from .analysis import Table
+    from .qfa import af_qfa_for_mod_language, minimize_dfa, mod_dfa
+
+    table = Table(
+        "States for L_p = {a^i : p | i} (footnote 2)",
+        ["p", "DFA states", "QFA states"],
+    )
+    rng = np.random.default_rng(args.seed)
+    for p in args.primes:
+        qfa, _ = af_qfa_for_mod_language(p, rng=rng)
+        table.add_row(p, minimize_dfa(mod_dfa(p)).size, qfa.size)
+    table.print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Le Gall (SPAA 2006) online space complexity reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="paper and library summary").set_defaults(
+        func=_cmd_info
+    )
+
+    rec = sub.add_parser("recognize", help="run the recognizers on a word")
+    rec.add_argument("--word", help="explicit word over {0,1,#}")
+    rec.add_argument("--k", type=int, default=2)
+    rec.add_argument("--t", type=int, default=2, help="intersection size")
+    rec.add_argument(
+        "--kind",
+        default="member",
+        help="member | intersecting | one of the malformed kinds",
+    )
+    rec.add_argument("--seed", type=int, default=0)
+    rec.set_defaults(func=_cmd_recognize)
+
+    sep = sub.add_parser("separation", help="the headline space table")
+    sep.add_argument("--k-min", type=int, default=1)
+    sep.add_argument("--k-max", type=int, default=4)
+    sep.add_argument("--seed", type=int, default=0)
+    sep.set_defaults(func=_cmd_separation)
+
+    gro = sub.add_parser("grover", help="BBHT success probabilities")
+    gro.add_argument("--k", type=int, default=3)
+    gro.set_defaults(func=_cmd_grover)
+
+    comm = sub.add_parser("comm", help="communication costs for DISJ")
+    comm.add_argument("--k-max", type=int, default=7)
+    comm.set_defaults(func=_cmd_comm)
+
+    qfa = sub.add_parser("qfa", help="footnote-2 automata table")
+    qfa.add_argument("--primes", type=int, nargs="+", default=[5, 13, 31, 61])
+    qfa.add_argument("--seed", type=int, default=0)
+    qfa.set_defaults(func=_cmd_qfa)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

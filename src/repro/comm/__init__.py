@@ -1,0 +1,73 @@
+"""Two-party communication complexity substrate.
+
+Both directions of the paper's separation run through communication
+complexity: the upper bound streams the Buhrman-Cleve-Wigderson quantum
+protocol for Disjointness (Theorem 3.1), and the lower bound converts
+any classical online machine into a communication protocol and invokes
+the Omega(n) randomized lower bound for Disjointness (Theorems 3.2 and
+3.6).  This package implements the whole substrate:
+
+* :mod:`repro.comm.model` — protocol framework with per-message cost
+  accounting (classical bits and qubits).
+* :mod:`repro.comm.disjointness` — DISJ_n and instance generators.
+* :mod:`repro.comm.classical` — classical protocols (trivial one-way,
+  blockwise) as baselines.
+* :mod:`repro.comm.fingerprint` — the randomized O(log n)-bit equality
+  protocol procedure A2 simulates.
+* :mod:`repro.comm.bcw` — the BCW Grover-based quantum protocol, as
+  genuine message passing where each player keeps only the last message.
+* :mod:`repro.comm.lowerbounds` — exact, computable lower bounds for
+  small n (fooling sets, one-way row counting, log-rank).
+* :mod:`repro.comm.reduction` — the Theorem 3.6 compiler from online
+  machines to one-way communication protocols.
+"""
+
+from .model import Message, Transcript, ProtocolResult, TwoPartyProtocol
+from .disjointness import (
+    disj,
+    intersection_size,
+    random_pair,
+    disjoint_pair,
+    intersecting_pair,
+    all_pairs,
+)
+from .classical import TrivialOneWayProtocol, BlockedOneWayProtocol
+from .fingerprint import FingerprintEqualityProtocol, exact_collision_probability
+from .bcw import BCWDisjointnessProtocol
+from .lowerbounds import (
+    communication_matrix,
+    is_fooling_set,
+    disj_fooling_set,
+    fooling_set_bound_bits,
+    one_way_deterministic_bits,
+    log_rank_bound_bits,
+)
+from .reduction import ReducedOneWayProtocol, Segment, ldisj_schedule, simple_disj_schedule
+
+__all__ = [
+    "Message",
+    "Transcript",
+    "ProtocolResult",
+    "TwoPartyProtocol",
+    "disj",
+    "intersection_size",
+    "random_pair",
+    "disjoint_pair",
+    "intersecting_pair",
+    "all_pairs",
+    "TrivialOneWayProtocol",
+    "BlockedOneWayProtocol",
+    "FingerprintEqualityProtocol",
+    "exact_collision_probability",
+    "BCWDisjointnessProtocol",
+    "communication_matrix",
+    "is_fooling_set",
+    "disj_fooling_set",
+    "fooling_set_bound_bits",
+    "one_way_deterministic_bits",
+    "log_rank_bound_bits",
+    "ReducedOneWayProtocol",
+    "Segment",
+    "ldisj_schedule",
+    "simple_disj_schedule",
+]

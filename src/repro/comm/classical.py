@@ -1,0 +1,63 @@
+"""Classical baseline protocols for Disjointness.
+
+Theorem 3.2 says Omega(n) bits are required; these baselines realize
+the matching upper bounds, so experiment E7 has concrete classical
+curves to plot against the BCW qubit counts:
+
+* :class:`TrivialOneWayProtocol` — Alice sends x verbatim (n bits).
+* :class:`BlockedOneWayProtocol` — Alice sends x in blocks and Bob
+  acknowledges nothing; identical total cost but bounded message size,
+  mirroring how Proposition 3.7's online machine chunks its work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProtocolError
+from .disjointness import disj
+from .model import ALICE, BOB, Transcript, TwoPartyProtocol
+
+
+class TrivialOneWayProtocol(TwoPartyProtocol):
+    """Alice ships her whole input; Bob answers locally.  Cost: n bits."""
+
+    name = "trivial-one-way"
+
+    def _run(self, x: str, y: str, transcript: Transcript, rng: np.random.Generator):
+        if len(x) != len(y):
+            raise ProtocolError("inputs must have equal length")
+        received = transcript.send(ALICE, x, classical_bits=len(x))
+        return disj(received, y)
+
+
+class BlockedOneWayProtocol(TwoPartyProtocol):
+    """Alice sends x in fixed-size blocks; Bob checks each block as it lands.
+
+    Total cost is still n bits (plus one end marker per block counted as
+    0 — block boundaries are fixed in advance), but the *per-message*
+    size is ``block``; this is the communication shadow of Proposition
+    3.7's O(n^{1/3})-space online machine, which holds one block of x in
+    memory at a time.
+    """
+
+    name = "blocked-one-way"
+
+    def __init__(self, block: int) -> None:
+        if block < 1:
+            raise ProtocolError("block size must be >= 1")
+        self.block = block
+
+    def _run(self, x: str, y: str, transcript: Transcript, rng: np.random.Generator):
+        if len(x) != len(y):
+            raise ProtocolError("inputs must have equal length")
+        intersect = False
+        for start in range(0, len(x), self.block):
+            chunk = x[start : start + self.block]
+            received = transcript.send(ALICE, chunk, classical_bits=len(chunk))
+            if any(
+                a == "1" and b == "1"
+                for a, b in zip(received, y[start : start + self.block])
+            ):
+                intersect = True
+        return 0 if intersect else 1

@@ -1,0 +1,79 @@
+"""The Disjointness function and instance generators.
+
+``DISJ_n(x, y) = 1`` iff there is no index i with ``x_i = y_i = 1``
+(the paper's convention: 1 means *disjoint*).  Generators produce the
+workloads every experiment sweeps: random pairs, guaranteed-disjoint
+pairs, and pairs with a prescribed intersection size t (the parameter
+the Grover analysis is about).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from ..alphabet import validate_bitstring
+from ..rng import ensure_rng
+
+
+def intersection_size(x: str, y: str) -> int:
+    """|{i : x_i = y_i = 1}|."""
+    validate_bitstring(x)
+    validate_bitstring(y)
+    if len(x) != len(y):
+        raise ValueError(f"length mismatch: {len(x)} vs {len(y)}")
+    return sum(1 for a, b in zip(x, y) if a == "1" and b == "1")
+
+
+def disj(x: str, y: str) -> int:
+    """DISJ_n: 1 if x and y are disjoint, else 0."""
+    return 1 if intersection_size(x, y) == 0 else 0
+
+
+def random_pair(n: int, rng=None, p_one: float = 0.5) -> Tuple[str, str]:
+    """Independent uniform-ish strings (each bit 1 w.p. *p_one*)."""
+    gen = ensure_rng(rng)
+    bits = gen.random((2, n)) < p_one
+    return (
+        "".join("1" if b else "0" for b in bits[0]),
+        "".join("1" if b else "0" for b in bits[1]),
+    )
+
+
+def disjoint_pair(n: int, rng=None) -> Tuple[str, str]:
+    """A uniformly random *disjoint* pair (each index gets one of
+    {00, 01, 10} for (x_i, y_i))."""
+    gen = ensure_rng(rng)
+    choice = gen.integers(0, 3, size=n)
+    x = "".join("1" if c == 1 else "0" for c in choice)
+    y = "".join("1" if c == 2 else "0" for c in choice)
+    return x, y
+
+
+def intersecting_pair(n: int, t: int, rng=None) -> Tuple[str, str]:
+    """A pair with intersection size exactly *t*.
+
+    The t common indices are chosen uniformly; the remaining indices are
+    filled with a random disjoint pattern.
+    """
+    if not 0 <= t <= n:
+        raise ValueError(f"t must lie in [0, {n}]")
+    gen = ensure_rng(rng)
+    x, y = disjoint_pair(n, gen)
+    common = gen.choice(n, size=t, replace=False) if t else np.array([], dtype=int)
+    xl, yl = list(x), list(y)
+    for i in common:
+        xl[i] = "1"
+        yl[i] = "1"
+    return "".join(xl), "".join(yl)
+
+
+def all_pairs(n: int) -> Iterator[Tuple[str, str]]:
+    """Every pair in {0,1}^n x {0,1}^n — exhaustive small-n workloads."""
+    if n > 8:
+        raise ValueError("all_pairs is for n <= 8 (4^n pairs)")
+    for xv in range(1 << n):
+        x = format(xv, f"0{n}b")[::-1]
+        for yv in range(1 << n):
+            yield x, format(yv, f"0{n}b")[::-1]

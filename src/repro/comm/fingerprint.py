@@ -1,0 +1,95 @@
+"""The randomized equality protocol behind procedure A2.
+
+The classic one-sided-error protocol for string (non-)equality
+(Kushilevitz-Nisan): Alice draws a random evaluation point t in F_p,
+sends ``(t, F_x(t))`` where ``F_x(t) = sum_i x_i t^i mod p``, and Bob
+accepts iff ``F_y(t)`` matches.  With ``p > n^2`` the false-accept
+probability on unequal strings is below ``n/p < 1/n``; the paper's A2
+instantiates this with ``p`` in ``(2^{4k}, 2^{4k+1})`` and n = 2^{2k},
+giving error < 2^{-2k} per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ProtocolError
+from ..mathx.modular import StreamingPolynomialEvaluator
+from ..mathx.primes import fingerprint_prime, prime_in_window
+from .model import ALICE, Transcript, TwoPartyProtocol
+
+
+def bit_cost(p: int) -> int:
+    """Bits to name an element of F_p."""
+    return max(1, (p - 1).bit_length())
+
+
+class FingerprintEqualityProtocol(TwoPartyProtocol):
+    """One-way equality test: Alice sends (t, F_x(t)); Bob compares.
+
+    Output 1 means "apparently equal" (always correct when x == y;
+    wrong with probability < (n-1)/p when x != y).
+
+    Parameters
+    ----------
+    p:
+        Field size.  Use :func:`choose_modulus` to pick the paper's
+        window for a given string length.
+    """
+
+    name = "fingerprint-equality"
+
+    def __init__(self, p: int) -> None:
+        if p < 2:
+            raise ProtocolError("modulus must be >= 2")
+        self.p = p
+
+    def _run(self, x: str, y: str, transcript: Transcript, rng: np.random.Generator):
+        if len(x) != len(y):
+            raise ProtocolError("inputs must have equal length")
+        t = int(rng.integers(0, self.p))
+        ev = StreamingPolynomialEvaluator(t, self.p)
+        ev.feed_bits(int(c) for c in x)
+        fx = ev.value
+        payload = transcript.send(
+            ALICE, (t, fx), classical_bits=2 * bit_cost(self.p)
+        )
+        t_received, fx_received = payload
+        ev_b = StreamingPolynomialEvaluator(t_received, self.p)
+        ev_b.feed_bits(int(c) for c in y)
+        return 1 if ev_b.value == fx_received else 0
+
+
+def choose_modulus(n_bits: int) -> int:
+    """The smallest prime above ``n_bits**2`` (error < 1/n_bits); for the
+    paper's exact window use :func:`repro.mathx.primes.fingerprint_prime`."""
+    low = max(2, n_bits * n_bits)
+    return prime_in_window(low, 4 * low)
+
+
+def exact_collision_probability(x: str, y: str, p: int) -> float:
+    """Exact Pr_t[F_x(t) = F_y(t)] by enumerating every t in F_p.
+
+    Feasible for the small p used in tests; lets experiment E6 compare
+    the measured false-accept rate against the exact value and the
+    (n-1)/p bound.
+    """
+    if len(x) != len(y):
+        raise ValueError("inputs must have equal length")
+    if p < 2:
+        raise ValueError("modulus must be >= 2")
+    # Vectorized: difference polynomial d_i = x_i - y_i evaluated at all t.
+    d = np.array([int(a) - int(b) for a, b in zip(x, y)], dtype=np.int64)
+    ts = np.arange(p, dtype=np.int64)
+    acc = np.zeros(p, dtype=np.int64)
+    power = np.ones(p, dtype=np.int64)
+    for coeff in d:
+        if coeff:
+            acc = (acc + coeff * power) % p
+        power = (power * ts) % p
+    return float(np.count_nonzero(acc % p == 0)) / p
+
+
+def a2_modulus(k: int) -> int:
+    """The paper's modulus: smallest prime in (2^{4k}, 2^{4k+1})."""
+    return fingerprint_prime(k)

@@ -1,0 +1,71 @@
+"""The paper's contribution: the language L_DISJ and its recognizers.
+
+* :mod:`repro.core.language` — L_DISJ (Definition 3.3): assembly,
+  parsing, exact membership.
+* :mod:`repro.core.instances` — instance generators for every workload
+  the experiments sweep (members, intersecting non-members, malformed
+  words of each flavour).
+* :mod:`repro.core.structure` — the shared online parser ("condition
+  (i)" tracking) procedures A1, A2, A3 and the classical recognizers
+  all hang off.
+* :mod:`repro.core.a1_format` — procedure A1 (deterministic format check).
+* :mod:`repro.core.a2_fingerprint` — procedure A2 (randomized
+  consistency check via streaming polynomial fingerprints).
+* :mod:`repro.core.a3_grover` — procedure A3 (the streamed Grover
+  search over the quantum register).
+* :mod:`repro.core.quantum_recognizer` — Theorem 3.4's machine:
+  A1 || A2 || A3, O(log n) classical bits + O(log n) qubits.
+* :mod:`repro.core.amplification` — Corollary 3.5 (error 1/4 -> 2/3).
+* :mod:`repro.core.classical_recognizer` — Proposition 3.7's
+  O(n^{1/3})-space machine and the Theta(n) full-storage baseline.
+* :mod:`repro.core.separation` — the headline experiment harness.
+"""
+
+from .language import (
+    ldisj_word,
+    word_length,
+    parse_ldisj,
+    in_ldisj,
+    LDISJInstance,
+)
+from .instances import (
+    member,
+    intersecting_nonmember,
+    malformed_nonmember,
+    MALFORMED_KINDS,
+)
+from .a1_format import A1FormatCheck
+from .a2_fingerprint import A2FingerprintCheck
+from .a3_grover import A3GroverProcedure
+from .quantum_recognizer import QuantumOnlineRecognizer
+from .amplification import amplified_recognizer, soundness_after
+from .classical_recognizer import (
+    BlockwiseClassicalRecognizer,
+    FullStorageClassicalRecognizer,
+)
+from .offline_recognizer import OfflineLogspaceRecognizer, OfflineDecision
+from .separation import SeparationRow, separation_table
+
+__all__ = [
+    "ldisj_word",
+    "word_length",
+    "parse_ldisj",
+    "in_ldisj",
+    "LDISJInstance",
+    "member",
+    "intersecting_nonmember",
+    "malformed_nonmember",
+    "MALFORMED_KINDS",
+    "A1FormatCheck",
+    "A2FingerprintCheck",
+    "A3GroverProcedure",
+    "QuantumOnlineRecognizer",
+    "amplified_recognizer",
+    "soundness_after",
+    "BlockwiseClassicalRecognizer",
+    "FullStorageClassicalRecognizer",
+    "OfflineLogspaceRecognizer",
+    "OfflineDecision",
+    "SeparationRow",
+    "separation_table",
+]

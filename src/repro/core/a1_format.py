@@ -1,0 +1,33 @@
+"""Procedure A1: deterministic online check of condition (i).
+
+"A deterministic classical online procedure A1 that outputs, using
+logarithm space, 1 if condition (i) holds and outputs 0 if condition
+(i) does not hold."  Condition (i) is exactly the shape
+``1^k # (B#)^{3*2^k}`` with every block in {0,1}^{2^{2k}} — the parser
+in :mod:`repro.core.structure` decides it; A1 is the thin algorithm
+wrapper that exposes the decision and the measured O(log n) space.
+"""
+
+from __future__ import annotations
+
+from ..streaming.algorithm import OnlineAlgorithm
+from .structure import BlockStreamParser
+
+
+class A1FormatCheck(OnlineAlgorithm):
+    """Outputs 1 iff the stream is a well-formed Definition 3.3 word.
+
+    Deterministic, one-sided in neither direction (it is always
+    correct), and O(log n) space: the parser's counters are the whole
+    footprint.
+    """
+
+    def __init__(self, budget_bits=None) -> None:
+        super().__init__("A1-format", budget_bits=budget_bits)
+        self.parser = BlockStreamParser(self.workspace, prefix="a1")
+
+    def feed(self, symbol: str) -> None:
+        self.parser.feed(symbol)
+
+    def finish(self) -> int:
+        return 1 if self.parser.finish() else 0

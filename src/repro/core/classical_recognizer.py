@@ -1,0 +1,155 @@
+"""Classical recognizers for L_DISJ.
+
+* :class:`BlockwiseClassicalRecognizer` — Proposition 3.7's machine:
+  decompose x into 2^k chunks of 2^k bits; in repetition r hold chunk r
+  of x in memory and match it against chunk r of y.  Combined with the
+  classical A1/A2 checks this recognizes L_DISJ with bounded error in
+  ``O(2^k) = O(n^{1/3})`` measured bits — tight against Theorem 3.6.
+
+* :class:`FullStorageClassicalRecognizer` — the naive machine that
+  stores x and y outright: deterministic, zero error, Theta(n^{2/3})
+  bits of storage (the strings have length n^{2/3} relative to the full
+  repeated input).  The baseline the paper's introduction says is
+  impossible "when the length of the string is far beyond the capacity
+  of the memory".
+"""
+
+from __future__ import annotations
+
+from ..streaming.algorithm import OnlineAlgorithm
+from ..streaming.combinators import ParallelComposition
+from .a1_format import A1FormatCheck
+from .a2_fingerprint import A2FingerprintCheck
+from .structure import BlockStreamParser, block_type, round_index
+
+
+class _BlockwiseCore(OnlineAlgorithm):
+    """The chunk-matching half of Proposition 3.7 (assumes (i)-(iii)).
+
+    Chunk r of a string s (r = 0 .. 2^k - 1) is s[r*2^k : (r+1)*2^k].
+    During repetition r the machine stores chunk r of the x block and
+    compares it against chunk r of the y block; all other positions
+    stream past unexamined.  One chunk register of 2^k bits dominates
+    the measured space.
+    """
+
+    def __init__(self, budget_bits=None) -> None:
+        super().__init__("blockwise-core", budget_bits=budget_bits)
+        self.parser = BlockStreamParser(self.workspace, prefix="bw")
+        self.parser.subscribe(self)
+        self._chunk_bits = 0
+
+    def on_header(self, k: int) -> None:
+        ws = self.workspace
+        self._chunk_bits = 1 << k
+        ws.alloc("bw.chunk", self._chunk_bits)
+        ws.alloc("bw.hit", 1)  # intersection found
+
+    def on_block_bit(self, block: int, position: int, bit: int) -> None:
+        ws = self.workspace
+        r = round_index(block)
+        typ = block_type(block)
+        c = self._chunk_bits
+        lo, hi = r * c, (r + 1) * c
+        if not lo <= position < hi:
+            return
+        offset = position - lo
+        if typ == "x":
+            chunk = ws.get("bw.chunk")
+            if bit:
+                chunk |= 1 << offset
+            else:
+                chunk &= ~(1 << offset)
+            ws.set("bw.chunk", chunk)
+        elif typ == "y":
+            if bit and (ws.get("bw.chunk") >> offset) & 1:
+                ws.set("bw.hit", 1)
+        # z blocks: nothing (their consistency is A2's job).
+
+    def feed(self, symbol: str) -> None:
+        self.parser.feed(symbol)
+
+    def finish(self) -> int:
+        self.parser.finish()
+        if "bw.hit" not in self.workspace:
+            return 0
+        return 0 if self.workspace.get("bw.hit") else 1
+
+
+class BlockwiseClassicalRecognizer(ParallelComposition):
+    """Proposition 3.7: A1 || A2 || chunk matching, O(n^{1/3}) bits.
+
+    Perfectly complete (members always accepted); non-members are
+    rejected with probability > 1 - 2^{-2k}: malformed words by A1,
+    inconsistent words by A2, intersecting words by the (deterministic)
+    chunk matcher, since under conditions (ii)/(iii) every index is
+    examined in exactly one repetition.
+    """
+
+    def __init__(self, rng=None) -> None:
+        from ..rng import ensure_rng, spawn
+
+        parent = ensure_rng(rng)
+        (r1,) = spawn(parent, 1)
+        self.a1 = A1FormatCheck()
+        self.a2 = A2FingerprintCheck(rng=r1)
+        self.core = _BlockwiseCore()
+        super().__init__(
+            "blockwise-classical-recognizer",
+            [self.a1, self.a2, self.core],
+            combiner=lambda outs: 1 if all(bool(o) for o in outs) else 0,
+        )
+
+
+class FullStorageClassicalRecognizer(OnlineAlgorithm):
+    """Store x and y outright; deterministic and exact, Theta(2^{2k}) bits.
+
+    Repetition 0 records x and y (and checks z = x); later repetitions
+    are compared bit-by-bit against the stored strings, so all of
+    conditions (i)-(iii) and the disjointness predicate are decided with
+    zero error — at a space cost exponentially larger than the quantum
+    recognizer's.
+    """
+
+    def __init__(self, budget_bits=None) -> None:
+        super().__init__("full-storage-recognizer", budget_bits=budget_bits)
+        self.parser = BlockStreamParser(self.workspace, prefix="fs")
+        self.parser.subscribe(self)
+        self._n = 0
+
+    def on_header(self, k: int) -> None:
+        ws = self.workspace
+        self._n = 1 << (2 * k)
+        ws.alloc("fs.x", self._n)
+        ws.alloc("fs.y", self._n)
+        ws.alloc("fs.ok", 1)
+        ws.set("fs.ok", 1)
+
+    def on_block_bit(self, block: int, position: int, bit: int) -> None:
+        ws = self.workspace
+        typ = block_type(block)
+        r = round_index(block)
+        if r == 0 and typ == "x":
+            val = ws.get("fs.x")
+            ws.set("fs.x", val | (1 << position) if bit else val & ~(1 << position))
+            return
+        if r == 0 and typ == "y":
+            val = ws.get("fs.y")
+            ws.set("fs.y", val | (1 << position) if bit else val & ~(1 << position))
+            return
+        reference = "fs.y" if typ == "y" else "fs.x"
+        if ((ws.get(reference) >> position) & 1) != bit:
+            ws.set("fs.ok", 0)
+
+    def feed(self, symbol: str) -> None:
+        self.parser.feed(symbol)
+
+    def finish(self) -> int:
+        ok = self.parser.finish()
+        if "fs.ok" not in self.workspace:
+            return 0
+        if not ok or not self.workspace.get("fs.ok"):
+            return 0
+        x = self.workspace.get("fs.x")
+        y = self.workspace.get("fs.y")
+        return 0 if (x & y) else 1

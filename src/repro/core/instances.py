@@ -1,0 +1,107 @@
+"""Instance generators for every workload the experiments sweep.
+
+Three families, matching the case analysis in the proof of Theorem 3.4:
+
+* **members** — well-formed words with disjoint (x, y);
+* **intersecting non-members** — well-formed words with intersection
+  size exactly t (the Grover-relevant parameter);
+* **malformed non-members** — words violating condition (i), (ii) or
+  (iii) in each of several distinct ways (these exercise A1 and A2).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..comm.disjointness import disjoint_pair, intersecting_pair
+from ..errors import FormatError
+from ..rng import ensure_rng
+from .language import ldisj_word, repetitions, string_length
+
+
+def member(k: int, rng=None) -> str:
+    """A random member of L_DISJ."""
+    gen = ensure_rng(rng)
+    x, y = disjoint_pair(string_length(k), gen)
+    return ldisj_word(k, x, y)
+
+
+def member_pair(k: int, rng=None) -> Tuple[str, str, str]:
+    """(word, x, y) for a random member."""
+    gen = ensure_rng(rng)
+    x, y = disjoint_pair(string_length(k), gen)
+    return ldisj_word(k, x, y), x, y
+
+
+def intersecting_nonmember(k: int, t: int, rng=None) -> str:
+    """A well-formed word with intersection size exactly t >= 1."""
+    if t < 1:
+        raise ValueError("t must be >= 1 for a non-member")
+    gen = ensure_rng(rng)
+    x, y = intersecting_pair(string_length(k), t, gen)
+    return ldisj_word(k, x, y)
+
+
+#: The malformed-word flavours `malformed_nonmember` can produce.
+MALFORMED_KINDS = (
+    "truncated",          # last block cut short (condition (i))
+    "extra_symbol",       # one bit appended (condition (i))
+    "bad_header",         # missing '#' after 1^k (condition (i))
+    "hash_in_block",      # a '#' replacing a bit inside a block (condition (i))
+    "x_copy_mismatch",    # a z block differs from x (condition (ii))
+    "x_drift",            # x changes between repetitions (condition (ii))
+    "y_drift",            # y changes between repetitions (condition (iii))
+    "zero_k",             # no leading 1s at all (condition (i))
+)
+
+
+def malformed_nonmember(k: int, kind: str, rng=None) -> str:
+    """A word violating the Definition 3.3 shape in the requested way.
+
+    All kinds produce words *outside* L_DISJ; kinds violating only
+    conditions (ii)/(iii) keep condition (i) intact so they isolate
+    procedure A2.
+    """
+    gen = ensure_rng(rng)
+    n = string_length(k)
+    reps = repetitions(k)
+    x, y = disjoint_pair(n, gen)
+    word = ldisj_word(k, x, y)
+    header = k + 1
+
+    def flip_bit(s: str, pos: int) -> str:
+        ch = "0" if s[pos] == "1" else "1"
+        return s[:pos] + ch + s[pos + 1 :]
+
+    if kind == "truncated":
+        return word[:-2]
+    if kind == "extra_symbol":
+        return word + "0"
+    if kind == "bad_header":
+        return "1" * k + "0" + word[header:]
+    if kind == "hash_in_block":
+        pos = header + int(gen.integers(0, n))
+        return word[:pos] + "#" + word[pos + 1 :]
+    if kind == "x_copy_mismatch":
+        # Corrupt one bit of the z copy in repetition 0.
+        z_start = header + 2 * (n + 1)
+        pos = z_start + int(gen.integers(0, n))
+        return flip_bit(word, pos)
+    if kind == "x_drift":
+        if reps < 2:
+            # k = 1 has 2 repetitions; drift the second x.
+            pass
+        rep = int(gen.integers(1, reps))
+        x_start = header + rep * 3 * (n + 1)
+        pos = x_start + int(gen.integers(0, n))
+        return flip_bit(word, pos)
+    if kind == "y_drift":
+        rep = int(gen.integers(1, reps))
+        y_start = header + rep * 3 * (n + 1) + (n + 1)
+        pos = y_start + int(gen.integers(0, n))
+        return flip_bit(word, pos)
+    if kind == "zero_k":
+        return word[k:]
+    raise FormatError(f"unknown malformed kind {kind!r}")

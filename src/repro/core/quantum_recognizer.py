@@ -1,0 +1,157 @@
+"""Theorem 3.4's machine: A1 || A2 || A3 in O(log n) space.
+
+The recognizer runs the three procedures in parallel on the stream and
+accepts iff all three output 1:
+
+* members of L_DISJ are accepted with probability 1 (every procedure is
+  perfectly complete);
+* non-members are rejected with probability >= 1/4: malformed words are
+  killed by A1 (deterministically); well-formed words with inconsistent
+  copies are killed by A2 (probability > 1 - 2^{-2k} > 1/4); well-formed
+  consistent words with an intersection are killed by A3 (probability
+  >= 1/4, the BBHT bound).
+
+Besides the runnable recognizer, this module provides the *exact*
+acceptance probability (no sampling): A1 is deterministic, A2's pass
+probability is a root count over F_p, and A3's detection probability is
+an exact state-vector average over the 2^k iteration counts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..quantum.grover import marked_probability
+from ..quantum.operators import (
+    RxOperator,
+    SkOperator,
+    UkOperator,
+    VxOperator,
+    WxOperator,
+    initial_phi,
+)
+from ..quantum.registers import A3Registers
+from ..streaming.combinators import ParallelComposition
+from ..mathx.primes import fingerprint_prime
+from .a1_format import A1FormatCheck
+from .a2_fingerprint import A2FingerprintCheck
+from .a3_grover import A3GroverProcedure
+from .language import parse_condition_i
+
+
+class QuantumOnlineRecognizer(ParallelComposition):
+    """The composed machine of Theorem 3.4 (accepts = "in L_DISJ").
+
+    One run = one pass over the stream; the decision is a genuine sample
+    (A2's random t, A3's random j and measurement).  Space = sum of the
+    three procedures' metered space: O(log n) classical bits plus
+    2k + 2 qubits.
+    """
+
+    def __init__(self, rng=None, forced_j: Optional[int] = None) -> None:
+        from ..rng import ensure_rng, spawn
+
+        parent = ensure_rng(rng)
+        r1, r2 = spawn(parent, 2)
+        self.a1 = A1FormatCheck()
+        self.a2 = A2FingerprintCheck(rng=r1)
+        self.a3 = A3GroverProcedure(rng=r2, forced_j=forced_j)
+        super().__init__(
+            "quantum-online-recognizer",
+            [self.a1, self.a2, self.a3],
+            combiner=lambda outs: 1 if all(bool(o) for o in outs) else 0,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Exact (sampling-free) analysis
+# ---------------------------------------------------------------------------
+
+
+def exact_a3_detection_for_blocks(k: int, blocks: list[str], j: int) -> float:
+    """Exact Pr[b = 1] of A3's final measurement for a fixed j.
+
+    Replays A3's evolution over an arbitrary block sequence (the blocks
+    need not satisfy conditions (ii)/(iii)), using the vectorized
+    operators; deterministic given j.
+    """
+    regs = A3Registers(k)
+    vec = initial_phi(regs)
+    uk = UkOperator(regs)
+    sk = SkOperator(regs)
+    for b, s in enumerate(blocks):
+        r, typ = b // 3, b % 3
+        if r < j:
+            if typ in (0, 2):
+                vec = VxOperator(regs, s).apply(vec)
+            else:
+                vec = WxOperator(regs, s).apply(vec)
+            if typ == 2:
+                vec = uk.apply(vec)
+                vec = sk.apply(vec)
+                vec = uk.apply(vec)
+        elif r == j:
+            if typ == 0:
+                vec = VxOperator(regs, s).apply(vec)
+            elif typ == 1:
+                vec = RxOperator(regs, s).apply(vec)
+    return marked_probability(vec, regs)
+
+
+def exact_a3_output_one_probability(word: str) -> float:
+    """Exact Pr[A3 outputs 1] on a condition-(i) word (averaged over j)."""
+    parsed = parse_condition_i(word)
+    if parsed is None:
+        raise ValueError("word does not satisfy condition (i)")
+    k, blocks = parsed
+    m = 1 << k
+    p_detect = float(
+        np.mean([exact_a3_detection_for_blocks(k, blocks, j) for j in range(m)])
+    )
+    return 1.0 - p_detect
+
+
+def exact_a2_pass_probability(word: str, max_k: int = 3) -> float:
+    """Exact Pr_t[A2 outputs 1] on a condition-(i) word.
+
+    Enumerates every evaluation point t in F_p (vectorized), so it is
+    limited to small k (p < 2^{4k+1}; the default cap k <= 3 keeps the
+    enumeration under ~10^7 modular operations).
+    """
+    parsed = parse_condition_i(word)
+    if parsed is None:
+        raise ValueError("word does not satisfy condition (i)")
+    k, blocks = parsed
+    if k > max_k:
+        raise ValueError(f"exact A2 enumeration capped at k <= {max_k}")
+    p = fingerprint_prime(k)
+    ts = np.arange(p, dtype=np.int64)
+    ok = np.ones(p, dtype=bool)
+    prev = {"x": None, "y": None}
+    for b, s in enumerate(blocks):
+        # Fingerprint of this block at every t simultaneously (Horner).
+        acc = np.zeros(p, dtype=np.int64)
+        for ch in reversed(s):
+            acc = (acc * ts + (1 if ch == "1" else 0)) % p
+        typ = "y" if b % 3 == 1 else "x"
+        if prev[typ] is not None:
+            ok &= acc == prev[typ]
+        prev[typ] = acc
+    return float(np.count_nonzero(ok)) / p
+
+
+def exact_acceptance_probability(word: str, max_k_for_a2: int = 3) -> float:
+    """Exact Pr[the recognizer accepts *word*] — no sampling anywhere.
+
+    * malformed words: 0 (A1 is deterministic);
+    * condition-(i) words: Pr[A2 passes] * Pr[A3 outputs 1] (the two
+      procedures' randomness is independent).
+    """
+    parsed = parse_condition_i(word)
+    if parsed is None:
+        return 0.0
+    p_a2 = exact_a2_pass_probability(word, max_k=max_k_for_a2)
+    p_a3 = exact_a3_output_one_probability(word)
+    return p_a2 * p_a3

@@ -1,0 +1,246 @@
+"""Concrete online Turing machines built from explicit transition tables.
+
+These machines serve three purposes: they test the OPTM substrate
+itself, they give Fact 2.2 something real to count, and
+:func:`disjointness_machine` is the machine the Theorem 3.6 reduction is
+demonstrated on (an online machine for ``DISJ_m`` on inputs ``x#y``).
+
+All builders return fully validated :class:`~repro.machines.optm.OPTM`
+instances.  Work alphabets may extend the ternary alphabet (Fact 2.2 is
+parametric in |Sigma|); the disjointness machine uses one extra marker
+symbol 'L' for the left end of the work tape.
+"""
+
+from __future__ import annotations
+
+from ..errors import MachineError
+from .optm import OPTM
+from .tape import BLANK, END_OF_INPUT
+from .transition import Action, Move, TransitionTable
+
+_ACCEPT = "q_accept"
+_REJECT = "q_reject"
+
+
+def parity_machine() -> OPTM:
+    """Accept words over {0,1} with an even number of 1s.  O(1) space.
+
+    Two live states (parities); the work tape is never written.
+    """
+    t = TransitionTable()
+    for parity in ("even", "odd"):
+        other = "odd" if parity == "even" else "even"
+        t.add_deterministic(parity, "0", BLANK, Action(parity, BLANK))
+        t.add_deterministic(parity, "1", BLANK, Action(other, BLANK))
+        final = _ACCEPT if parity == "even" else _REJECT
+        t.add_deterministic(
+            parity, END_OF_INPUT, BLANK, Action(final, BLANK, input_move=Move.STAY)
+        )
+    return OPTM(
+        name="parity",
+        transitions=t,
+        initial_state="even",
+        accept_states={_ACCEPT},
+        reject_states={_REJECT},
+    )
+
+
+def mod_counter_machine(p: int, residue: int = 0) -> OPTM:
+    """Accept words over {0,1} whose number of 1s is ``residue`` mod p.
+
+    Uses exactly p live control states and no work tape — a machine
+    family with tunable |Q| for Fact 2.2 experiments.
+    """
+    if p < 1:
+        raise MachineError("p must be >= 1")
+    if not 0 <= residue < p:
+        raise MachineError("residue must lie in [0, p)")
+    t = TransitionTable()
+    for r in range(p):
+        state = f"r{r}"
+        t.add_deterministic(state, "0", BLANK, Action(state, BLANK))
+        t.add_deterministic(state, "1", BLANK, Action(f"r{(r + 1) % p}", BLANK))
+        final = _ACCEPT if r == residue else _REJECT
+        t.add_deterministic(
+            state, END_OF_INPUT, BLANK, Action(final, BLANK, input_move=Move.STAY)
+        )
+    return OPTM(
+        name=f"mod{p}={residue}",
+        transitions=t,
+        initial_state="r0",
+        accept_states={_ACCEPT},
+        reject_states={_REJECT},
+    )
+
+
+def copy_machine() -> OPTM:
+    """Copy the input bits to the work tape, then accept.  Theta(n) space.
+
+    Used to check the space meter: on input of length n it visits n+1
+    work cells.
+    """
+    t = TransitionTable()
+    for bit in ("0", "1"):
+        t.add_deterministic(
+            "copy", bit, BLANK, Action("copy", bit, work_move=Move.RIGHT)
+        )
+    t.add_deterministic(
+        "copy", END_OF_INPUT, BLANK, Action(_ACCEPT, BLANK, input_move=Move.STAY)
+    )
+    return OPTM(
+        name="copy",
+        transitions=t,
+        initial_state="copy",
+        accept_states={_ACCEPT},
+        reject_states=set(),
+    )
+
+
+def coin_machine(heads_accepts: bool = True) -> OPTM:
+    """Ignore the input; accept with probability exactly 1/2.
+
+    Exercises the probabilistic semantics and exact propagation.
+    """
+    t = TransitionTable()
+    win, lose = (_ACCEPT, _REJECT) if heads_accepts else (_REJECT, _ACCEPT)
+    for sym in ("0", "1", "#"):
+        t.add_deterministic("skip", sym, BLANK, Action("skip", BLANK))
+    t.add_uniform(
+        "skip",
+        END_OF_INPUT,
+        BLANK,
+        [
+            Action(win, BLANK, input_move=Move.STAY),
+            Action(lose, BLANK, input_move=Move.STAY),
+        ],
+    )
+    return OPTM(
+        name="coin",
+        transitions=t,
+        initial_state="skip",
+        accept_states={_ACCEPT},
+        reject_states={_REJECT},
+    )
+
+
+#: Left-end marker used by the disjointness machine's work tape.
+LEFT_MARK = "L"
+
+
+def disjointness_machine(m: int) -> OPTM:
+    """An online machine deciding ``DISJ_m`` on inputs ``x#y``.
+
+    Accepts iff x and y (both in {0,1}^m) share no index with
+    ``x_i = y_i = 1``; rejects on malformed input (wrong lengths, extra
+    '#').  Strategy — exactly Proposition 3.7's trivial procedure:
+
+    1. write 'L' at cell 0, then store x on cells 1..m;
+    2. on '#', rewind the work head to the cell after 'L';
+    3. stream y, comparing y_i against the stored x_i;
+    4. accept at end of input iff no collision occurred and the lengths
+       matched.
+
+    Space: m + 1 work cells.  Deterministic (a degenerate OPTM), which
+    keeps the Theorem 3.6 reduction's kernels small while still
+    exercising every part of the pipeline.
+
+    The value of m is *not* baked into counters: the machine has O(1)
+    control states for any m and discovers block boundaries from the
+    tape marks, so |Q| stays constant while space grows — the regime
+    Fact 2.2 is about.
+    """
+    if m < 1:
+        raise MachineError("m must be >= 1")
+    t = TransitionTable()
+
+    # Phase 0: plant the left marker without consuming input.
+    for sym in ("0", "1"):
+        t.add_deterministic(
+            "start",
+            sym,
+            BLANK,
+            Action("store", LEFT_MARK, work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+    # Empty x (m >= 1 means '#first' is malformed): reject by dead key.
+
+    # Phase 1: store x bits.
+    for bit in ("0", "1"):
+        t.add_deterministic(
+            "store", bit, BLANK, Action("store", bit, work_move=Move.RIGHT)
+        )
+    # '#' ends x: begin rewinding (head sits on the blank after x).
+    t.add_deterministic(
+        "store", "#", BLANK, Action("rewind", BLANK, work_move=Move.LEFT)
+    )
+
+    # Phase 2: rewind over stored bits to the left marker.
+    for bit in ("0", "1"):
+        t.add_deterministic(
+            "rewind",
+            "0",
+            bit,
+            Action("rewind", bit, work_move=Move.LEFT, input_move=Move.STAY),
+        )
+        t.add_deterministic(
+            "rewind",
+            "1",
+            bit,
+            Action("rewind", bit, work_move=Move.LEFT, input_move=Move.STAY),
+        )
+        t.add_deterministic(
+            "rewind",
+            END_OF_INPUT,
+            bit,
+            Action("rewind", bit, work_move=Move.LEFT, input_move=Move.STAY),
+        )
+    for in_sym in ("0", "1", END_OF_INPUT):
+        t.add_deterministic(
+            "rewind",
+            in_sym,
+            LEFT_MARK,
+            Action("match", LEFT_MARK, work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+
+    # Phase 3: stream y, comparing against stored bits.
+    for y_bit in ("0", "1"):
+        for x_bit in ("0", "1"):
+            collide = y_bit == "1" and x_bit == "1"
+            nxt = "drain" if collide else "match"
+            t.add_deterministic(
+                "match", y_bit, x_bit, Action(nxt, x_bit, work_move=Move.RIGHT)
+            )
+        # y longer than x: the work cell is already blank -> malformed.
+        t.add_deterministic("match", y_bit, BLANK, Action("drain", BLANK))
+    # End of input while matching: accept iff y covered all of x
+    # (head on the blank just past the stored bits).
+    t.add_deterministic(
+        "match",
+        END_OF_INPUT,
+        BLANK,
+        Action(_ACCEPT, BLANK, input_move=Move.STAY),
+    )
+    # End of input with stored bits left: y too short -> reject (dead key
+    # on ('match', END, bit) is deliberate).
+    # Second '#': malformed.
+    t.add_deterministic("match", "#", BLANK, Action("drain", BLANK))
+    for x_bit in ("0", "1"):
+        t.add_deterministic("match", "#", x_bit, Action("drain", x_bit))
+
+    # Phase 4: drain the rest of the input, then reject.  (Reading all
+    # input keeps the Theorem 3.6 reduction simple, matching the paper's
+    # WLOG assumption.)
+    for sym in ("0", "1", "#"):
+        for w in ("0", "1", BLANK, LEFT_MARK):
+            t.add_deterministic("drain", sym, w, Action("drain", w))
+    for w in ("0", "1", BLANK, LEFT_MARK):
+        t.add_deterministic(
+            "drain", END_OF_INPUT, w, Action(_REJECT, w, input_move=Move.STAY)
+        )
+
+    return OPTM(
+        name=f"disj[{m}]",
+        transitions=t,
+        initial_state="start",
+        accept_states={_ACCEPT},
+        reject_states={_REJECT},
+    )

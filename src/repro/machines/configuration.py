@@ -1,0 +1,80 @@
+"""Machine configurations and the Fact 2.2 counting bound.
+
+A configuration (paper, Section 2.1) is the 4-tuple of control state,
+positions of the two heads, and work-tape contents.  Fact 2.2 bounds the
+number of configurations reachable with positive probability on inputs
+of length n by  ``n * s(n) * |Sigma|^{s(n)} * |Q|``  when the machine
+uses at most s(n) work cells — the arithmetic behind the Theorem 3.6
+space lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """An OPTM configuration: (state, input head, work head, work contents).
+
+    ``work`` stores the logical tape contents with trailing blanks
+    trimmed, so configurations that look the same are equal and hashable.
+    ``halted`` marks configurations of machines that have stopped (the
+    distribution layer keeps them as absorbing points).
+    """
+
+    state: str
+    input_pos: int
+    work_head: int
+    work: Tuple[str, ...]
+    halted: bool = False
+
+    def cells_used(self) -> int:
+        """Cells the work tape occupies in this configuration (lower bound
+        on the run's space; the run-level charge also counts cells merely
+        visited)."""
+        return max(len(self.work), self.work_head + 1)
+
+    def describe(self) -> str:
+        tape = "".join(self.work) or "(blank)"
+        status = " HALTED" if self.halted else ""
+        return (
+            f"state={self.state} in@{self.input_pos} work@{self.work_head} "
+            f"tape={tape}{status}"
+        )
+
+
+def fact_2_2_bound(n: int, s: int, sigma: int, q: int) -> int:
+    """Fact 2.2: max configurations on inputs of length n with space s.
+
+    ``n * s * sigma**s * q`` — input-head position (n choices), work-head
+    position (s choices), work contents (|Sigma|^s), control state (|Q|).
+
+    Parameters
+    ----------
+    n: input length (positions 0..n-1; pass n+1 to count the
+       past-the-end position too, as some analyses do — the paper's
+       statement uses n and we follow it).
+    s: space bound in work cells.
+    sigma: work alphabet size.
+    q: number of control states.
+    """
+    if min(n, s, sigma, q) < 1:
+        raise ValueError("all of n, s, sigma, q must be >= 1")
+    return n * s * (sigma**s) * q
+
+
+def space_needed_for_configurations(count: int, n: int, sigma: int, q: int) -> int:
+    """Invert Fact 2.2: least s with ``fact_2_2_bound(n, s, sigma, q) >= count``.
+
+    This is the step in Theorem 3.6 that converts "the protocol must be
+    able to send ``count`` distinct configurations" into "the machine
+    must use at least s cells".
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    s = 1
+    while fact_2_2_bound(n, s, sigma, q) < count:
+        s += 1
+    return s

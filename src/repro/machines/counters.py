@@ -1,0 +1,136 @@
+"""Binary counters on the work tape: O(log n)-space transition tables.
+
+The streaming layer measures space in register bits and claims (in
+:mod:`repro.analysis.counting`) that a b-bit register machine is an
+online TM with Theta(b) work cells.  This module backs that claim with
+real machines: a binary counter maintained *on the tape* — marker 'M'
+at cell 0, then the count LSB-first, blank-terminated — with the
+standard ripple-carry increment.
+
+:func:`power_of_two_ones_machine` accepts words over {0,1,#} whose
+number of 1s is a power of two: a non-regular predicate decided by an
+explicit 8-state OPTM in ``floor(log2(#ones)) + 3`` work cells, i.e.
+O(log n) space measured in actual tape cells.
+"""
+
+from __future__ import annotations
+
+from .optm import OPTM
+from .tape import BLANK, END_OF_INPUT
+from .transition import Action, Move, TransitionTable
+
+#: Marker planted at work cell 0 so rewinds can find the left end.
+MARK = "M"
+
+_ALL_INPUT = ("0", "1", "#", END_OF_INPUT)
+
+
+def add_increment_fragment(
+    table: TransitionTable,
+    inc_state: str,
+    rewind_state: str,
+    done_state: str,
+) -> None:
+    """Add the ripple-carry increment + rewind states to *table*.
+
+    Entering *inc_state* with the work head on the counter's LSB (cell 1)
+    adds one to the counter; the head ends back on cell 1 in
+    *done_state*.  The input head never moves inside the fragment.
+    """
+    for in_sym in _ALL_INPUT:
+        # Carry ripples over 1s, flipping them to 0.
+        table.add_deterministic(
+            inc_state, in_sym, "1",
+            Action(inc_state, "0", work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+        # First 0 (or fresh blank = new most significant bit) absorbs it.
+        table.add_deterministic(
+            inc_state, in_sym, "0",
+            Action(rewind_state, "1", work_move=Move.LEFT, input_move=Move.STAY),
+        )
+        table.add_deterministic(
+            inc_state, in_sym, BLANK,
+            Action(rewind_state, "1", work_move=Move.LEFT, input_move=Move.STAY),
+        )
+        # Rewind to the marker, then step right onto the LSB.
+        for bit in ("0", "1"):
+            table.add_deterministic(
+                rewind_state, in_sym, bit,
+                Action(rewind_state, bit, work_move=Move.LEFT, input_move=Move.STAY),
+            )
+        table.add_deterministic(
+            rewind_state, in_sym, MARK,
+            Action(done_state, MARK, work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+
+
+def power_of_two_ones_machine() -> OPTM:
+    """Accept words over {0,1,#} with a power-of-two number of 1s.
+
+    Pipeline: plant the marker, stream the input incrementing the tape
+    counter on every '1', then check the counter has exactly one set
+    bit.  Space: the counter, ``floor(log2(#ones)) + 3`` cells —
+    logarithmic in the input length, on a genuine transition table
+    (8 live states, 4 work symbols; Fact 2.2 applies as stated).
+    """
+    t = TransitionTable()
+    # init: plant the marker (one step, no input consumed).
+    for in_sym in _ALL_INPUT:
+        t.add_deterministic(
+            "init", in_sym, BLANK,
+            Action("scan", MARK, work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+    # scan: head rests on cell 1 (the LSB).
+    for w in ("0", "1", BLANK):
+        t.add_deterministic("scan", "0", w, Action("scan", w))
+        t.add_deterministic("scan", "#", w, Action("scan", w))
+        t.add_deterministic(
+            "scan", "1", w, Action("inc", w, input_move=Move.RIGHT)
+        )
+        t.add_deterministic(
+            "scan", END_OF_INPUT, w, Action("chk0", w, input_move=Move.STAY)
+        )
+    add_increment_fragment(t, "inc", "rew", "scan")
+    # chk0/chk1: exactly one '1' in the counter?
+    for in_sym in (END_OF_INPUT,):
+        t.add_deterministic(
+            "chk0", in_sym, "0",
+            Action("chk0", "0", work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+        t.add_deterministic(
+            "chk0", in_sym, "1",
+            Action("chk1", "1", work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+        # Blank with no '1' seen: the count is zero -> reject (dead key).
+        t.add_deterministic(
+            "chk1", in_sym, "0",
+            Action("chk1", "0", work_move=Move.RIGHT, input_move=Move.STAY),
+        )
+        t.add_deterministic(
+            "chk1", in_sym, "1",
+            Action("q_reject", "1", input_move=Move.STAY),
+        )
+        t.add_deterministic(
+            "chk1", in_sym, BLANK,
+            Action("q_accept", BLANK, input_move=Move.STAY),
+        )
+    return OPTM(
+        name="ones-power-of-two",
+        transitions=t,
+        initial_state="init",
+        accept_states={"q_accept"},
+        reject_states={"q_reject"},
+    )
+
+
+def counting_space_cells(ones: int) -> int:
+    """Upper bound on work cells used for a word with *ones* 1s.
+
+    Marker + counter bits + the blank probed past the MSB (the final
+    check only reaches that blank on accepting runs; rejecting runs may
+    stop one cell short).
+    """
+    if ones < 0:
+        raise ValueError("ones must be non-negative")
+    bits = max(1, ones.bit_length())
+    return 2 + bits

@@ -1,0 +1,237 @@
+"""Offline (two-way input) Turing machines — the model the paper contrasts.
+
+Section 1 of the paper: offline, the gap between quantum and classical
+space is at most quadratic (Watrous; Borodin-Cook-Pippenger), and the
+exponential separation appears only when the input head is one-way.
+This module provides the offline model so that contrast is executable:
+an :class:`OfflineTM` is an OPTM whose input head may also move left
+(the input is framed by end markers, the standard convention).
+
+Experiment E11 uses the register-level offline recognizer in
+:mod:`repro.core.offline_recognizer`; this transition-table model backs
+the formal side and its tests (e.g. a two-way palindrome machine that no
+one-way machine could run in O(log n) space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..alphabet import validate_word
+from ..errors import MachineError
+from ..rng import ensure_rng
+from .optm import RunOutcome
+from .tape import BLANK, WorkTape
+from .transition import Move
+
+#: Markers framing the input on the two-way tape.
+LEFT_END = "^"
+RIGHT_END = "$"
+
+
+@dataclass(frozen=True)
+class OfflineAction:
+    """A branch of an offline transition: both heads move freely."""
+
+    state: str
+    write: str
+    work_move: Move = Move.STAY
+    input_move: Move = Move.STAY
+    emit: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.write) != 1:
+            raise MachineError(f"work write must be one symbol, got {self.write!r}")
+
+
+class OfflineTransitionTable:
+    """Deterministic offline transition table (the offline machines in this
+    library are deterministic; probabilistic offline machines are not
+    needed for any experiment)."""
+
+    def __init__(self) -> None:
+        self._table: Dict[Tuple[str, str, str], OfflineAction] = {}
+
+    def add(
+        self, state: str, input_symbol: str, work_symbol: str, action: OfflineAction
+    ) -> "OfflineTransitionTable":
+        key = (state, input_symbol, work_symbol)
+        if key in self._table:
+            raise MachineError(f"duplicate transition for {key}")
+        self._table[key] = action
+        return self
+
+    def get(self, state: str, input_symbol: str, work_symbol: str) -> Optional[OfflineAction]:
+        return self._table.get((state, input_symbol, work_symbol))
+
+    def states(self) -> Set[str]:
+        found: Set[str] = set()
+        for (state, _, _), action in self._table.items():
+            found.add(state)
+            found.add(action.state)
+        return found
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+@dataclass
+class OfflineTM:
+    """A deterministic two-way-input Turing machine.
+
+    The input tape holds ``^ w $``; the head starts on the first symbol
+    of w (or on ``$`` for empty w) and may move in both directions but
+    never off the markers.
+    """
+
+    name: str
+    transitions: OfflineTransitionTable
+    initial_state: str
+    accept_states: Set[str]
+    reject_states: Set[str] = field(default_factory=set)
+
+    def run(self, word: str, max_steps: int = 1_000_000) -> RunOutcome:
+        validate_word(word)
+        framed = LEFT_END + word + RIGHT_END
+        state = self.initial_state
+        input_pos = 1
+        tape = WorkTape()
+        output: List[str] = []
+        steps = 0
+        while steps < max_steps:
+            if state in self.accept_states or state in self.reject_states:
+                return RunOutcome(
+                    accepted=state in self.accept_states,
+                    halted=True,
+                    steps=steps,
+                    cells_used=tape.cells_used,
+                    final_state=state,
+                    output="".join(output),
+                )
+            action = self.transitions.get(state, framed[input_pos], tape.read())
+            if action is None:
+                return RunOutcome(
+                    accepted=False,
+                    halted=True,
+                    steps=steps,
+                    cells_used=tape.cells_used,
+                    final_state=state,
+                    output="".join(output),
+                )
+            tape.write(action.write)
+            tape.move(int(action.work_move))
+            input_pos += int(action.input_move)
+            if not 0 <= input_pos < len(framed):
+                raise MachineError(f"{self.name}: input head left the markers")
+            if action.emit is not None:
+                output.append(action.emit)
+            state = action.state
+            steps += 1
+        return RunOutcome(
+            accepted=False,
+            halted=False,
+            steps=steps,
+            cells_used=tape.cells_used,
+            final_state=state,
+            output="".join(output),
+        )
+
+
+def palindrome_machine() -> OfflineTM:
+    """A two-way O(1)-work-space machine for palindromes over {0,1}.
+
+    The classic witness that two-way input access changes space
+    complexity: it zig-zags between the two ends, "crossing off" matched
+    symbols by overwriting them on the *input*?  No — the input is
+    read-only, so instead this machine uses the standard trick of
+    remembering the current depth implicitly by physically shuttling:
+    it compares symbol i with symbol n+1-i by walking, marking progress
+    with two work-tape cells holding the current parity of sweeps...
+
+    Implementation note: a genuinely O(1)-space two-way palindrome
+    decider needs a counter (palindromes are not regular), so this
+    machine uses a unary counter on the work tape — O(n) space but a
+    *two-way* head pattern no OPTM can express at all.  Its role in the
+    tests is to exercise the two-way head mechanics, not to be optimal.
+
+    Strategy: for each depth d = 0, 1, ... the machine walks from '^' to
+    the d-th symbol (counting off d unary marks), remembers it, walks to
+    '$' and back to the d-th symbol from the right, compares; increments
+    d and repeats until the pointers cross (detected when the walk from
+    the left meets '$' early).
+    """
+    t = OfflineTransitionTable()
+    # The machine is generated programmatically below: states carry the
+    # remembered bit and the walk direction; the unary depth counter
+    # lives on the work tape as a block of '1's.
+
+    # go_left_end: rewind input head to '^', work head to cell 0.
+    for sym in ("0", "1", RIGHT_END):
+        for w in ("0", "1", BLANK):
+            t.add("go_left", sym, w, OfflineAction("go_left", w, Move.STAY, Move.LEFT))
+    for w in ("0", "1", BLANK):
+        t.add("go_left", LEFT_END, w, OfflineAction("rw0", w, Move.STAY, Move.RIGHT))
+    # rw0: rewind work head to cell 0 (cell 0 holds 'L' marker... we use
+    # the convention that the counter is the leftmost run of '1's and the
+    # work head returns by walking left until it stalls at cell 0, which
+    # we detect by writing a marker 'M' at cell 0 during setup).
+    # Setup state (initial): write the left marker at work cell 0.
+    for sym in ("0", "1", RIGHT_END):
+        t.add("setup", sym, BLANK, OfflineAction("walk_out", "M", Move.RIGHT, Move.STAY))
+    t.add("setup", LEFT_END, BLANK, OfflineAction("walk_out", "M", Move.RIGHT, Move.STAY))
+
+    # walk_out: move input head right past d symbols, consuming counter
+    # '1's from the work tape (head moves right over them).
+    for w in ("1",):
+        for sym in ("0", "1"):
+            t.add("walk_out", sym, w, OfflineAction("walk_out", w, Move.RIGHT, Move.RIGHT))
+        t.add("walk_out", RIGHT_END, w, OfflineAction("q_accept", w, Move.STAY, Move.STAY))
+    # Counter exhausted (blank): this is the d-th symbol; remember it.
+    t.add("walk_out", "0", BLANK, OfflineAction("fwd0", BLANK, Move.STAY, Move.RIGHT))
+    t.add("walk_out", "1", BLANK, OfflineAction("fwd1", BLANK, Move.STAY, Move.RIGHT))
+    t.add("walk_out", RIGHT_END, BLANK, OfflineAction("q_accept", BLANK, Move.STAY, Move.STAY))
+
+    # fwd{b}: run to the right end marker.
+    for b in ("0", "1"):
+        for sym in ("0", "1"):
+            t.add(f"fwd{b}", sym, BLANK, OfflineAction(f"fwd{b}", BLANK, Move.STAY, Move.RIGHT))
+        t.add(f"fwd{b}", RIGHT_END, BLANK, OfflineAction(f"back{b}", BLANK, Move.LEFT, Move.LEFT))
+
+    # back{b}: walk left past d symbols (consuming the counter again,
+    # work head moving left over the '1' block), then compare.
+    for b in ("0", "1"):
+        for sym in ("0", "1"):
+            t.add(f"back{b}", sym, "1", OfflineAction(f"back{b}", "1", Move.LEFT, Move.LEFT))
+            # Counter exhausted: we are at the mirror symbol.
+        t.add(f"back{b}", LEFT_END, "1", OfflineAction("q_accept", "1", Move.STAY, Move.STAY))
+        t.add(f"back{b}", LEFT_END, "M", OfflineAction("q_accept", "M", Move.STAY, Move.STAY))
+        for sym in ("0", "1"):
+            verdict = "grow" if sym == b else "q_reject"
+            t.add(f"back{b}", sym, "M", OfflineAction(verdict, "M", Move.RIGHT, Move.STAY))
+
+    # grow: append one '1' to the counter (work head walks right over the
+    # existing '1's onto the blank), then rewind the input head.
+    t.add("grow", "0", "1", OfflineAction("grow", "1", Move.RIGHT, Move.STAY))
+    t.add("grow", "1", "1", OfflineAction("grow", "1", Move.RIGHT, Move.STAY))
+    t.add("grow", "0", BLANK, OfflineAction("rewind_in", "1", Move.LEFT, Move.STAY))
+    t.add("grow", "1", BLANK, OfflineAction("rewind_in", "1", Move.LEFT, Move.STAY))
+
+    # rewind_in: input head back to '^', work head back to 'M'.
+    for sym in ("0", "1"):
+        t.add("rewind_in", sym, "1", OfflineAction("rewind_in", "1", Move.STAY, Move.LEFT))
+        t.add("rewind_in", sym, "M", OfflineAction("rewind_in", "M", Move.STAY, Move.LEFT))
+    t.add("rewind_in", LEFT_END, "1", OfflineAction("rewind_work", "1", Move.LEFT, Move.STAY))
+    t.add("rewind_in", LEFT_END, "M", OfflineAction("walk_out", "M", Move.RIGHT, Move.RIGHT))
+    t.add("rewind_work", LEFT_END, "1", OfflineAction("rewind_work", "1", Move.LEFT, Move.STAY))
+    t.add("rewind_work", LEFT_END, "M", OfflineAction("walk_out", "M", Move.RIGHT, Move.RIGHT))
+
+    return OfflineTM(
+        name="palindrome(two-way)",
+        transitions=t,
+        initial_state="setup",
+        accept_states={"q_accept"},
+        reject_states={"q_reject"},
+    )

@@ -1,0 +1,92 @@
+"""Work tape for online Turing machines.
+
+The work tape is semi-infinite to the right, starts all-blank, and the
+space charge of a run is the number of distinct cells the head has
+visited (the paper counts "cells of the work tape used").  The blank
+symbol is '#', matching the paper's choice of a single ternary alphabet
+for both tapes; machine builders may extend the work alphabet (Fact 2.2
+is parametric in |Sigma|).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import MachineError
+
+#: Blank work-tape symbol (the paper folds blanks into '#').
+BLANK = "#"
+
+#: Pseudo-symbol the input head reads beyond the end of the input word.
+END_OF_INPUT = "$"
+
+
+class WorkTape:
+    """Semi-infinite tape with a head, tracking cells used.
+
+    The tape contents are kept as a list that grows as the head walks
+    right; trailing blanks are trimmed when snapshotting so that equal
+    logical contents compare equal.
+    """
+
+    __slots__ = ("_cells", "_head", "_max_visited")
+
+    def __init__(self, content: Tuple[str, ...] = (), head: int = 0) -> None:
+        if head < 0:
+            raise MachineError("work head cannot start left of cell 0")
+        self._cells = list(content)
+        self._head = head
+        self._max_visited = head
+        self._ensure(head)
+
+    def _ensure(self, index: int) -> None:
+        while len(self._cells) <= index:
+            self._cells.append(BLANK)
+
+    # -- head ------------------------------------------------------------
+
+    @property
+    def head(self) -> int:
+        return self._head
+
+    def move(self, delta: int) -> None:
+        """Move the head by -1, 0 or +1; moving left of cell 0 stays at 0."""
+        if delta not in (-1, 0, 1):
+            raise MachineError(f"invalid head move {delta}")
+        self._head = max(0, self._head + delta)
+        self._ensure(self._head)
+        if self._head > self._max_visited:
+            self._max_visited = self._head
+
+    # -- cells ----------------------------------------------------------
+
+    def read(self) -> str:
+        return self._cells[self._head]
+
+    def write(self, symbol: str) -> None:
+        if not isinstance(symbol, str) or len(symbol) != 1:
+            raise MachineError(f"work symbol must be a single character, got {symbol!r}")
+        self._cells[self._head] = symbol
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def cells_used(self) -> int:
+        """Number of work cells visited (the paper's space measure)."""
+        return self._max_visited + 1
+
+    def snapshot(self) -> Tuple[str, ...]:
+        """Logical contents with trailing blanks trimmed (hashable)."""
+        end = len(self._cells)
+        while end > 0 and self._cells[end - 1] == BLANK:
+            end -= 1
+        return tuple(self._cells[:end])
+
+    @classmethod
+    def from_snapshot(cls, content: Tuple[str, ...], head: int) -> "WorkTape":
+        tape = cls(content, head)
+        return tape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cells = "".join(self._cells) or BLANK
+        return f"WorkTape({cells!r}, head={self._head})"

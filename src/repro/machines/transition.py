@@ -1,0 +1,152 @@
+"""Probabilistic transition tables.
+
+A transition is keyed by ``(state, input_symbol, work_symbol)`` where
+``input_symbol`` is the symbol under the one-way input head (or
+:data:`~repro.machines.tape.END_OF_INPUT` past the end).  Each key maps
+to a distribution over :class:`Action`, with *exact rational*
+probabilities so that distribution propagation and the Theorem 3.6
+reduction are exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import MachineError
+
+
+class Move(enum.IntEnum):
+    """Head movement.  The input head may only STAY or RIGHT (one-way)."""
+
+    LEFT = -1
+    STAY = 0
+    RIGHT = 1
+
+
+@dataclass(frozen=True)
+class Action:
+    """One probabilistic branch of a transition.
+
+    Attributes
+    ----------
+    state:
+        Next control state.
+    write:
+        Symbol written to the current work cell (pass the read symbol to
+        leave it unchanged).
+    work_move:
+        Work head movement.
+    input_move:
+        Input head movement; must be STAY or RIGHT (the tape is one-way).
+    emit:
+        Optional single symbol appended to the write-only output tape
+        (Definition 2.3 machines use this to describe quantum circuits).
+    """
+
+    state: str
+    write: str
+    work_move: Move = Move.STAY
+    input_move: Move = Move.RIGHT
+    emit: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.input_move not in (Move.STAY, Move.RIGHT):
+            raise MachineError("the input head is one-way: STAY or RIGHT only")
+        if len(self.write) != 1:
+            raise MachineError(f"work write must be one symbol, got {self.write!r}")
+        if self.emit is not None and len(self.emit) != 1:
+            raise MachineError(f"emit must be one symbol, got {self.emit!r}")
+
+
+Branch = Tuple[Fraction, Action]
+Key = Tuple[str, str, str]
+
+
+class TransitionTable:
+    """Mapping ``(state, input_symbol, work_symbol) -> distribution(Action)``.
+
+    Distributions must sum to exactly 1 (as Fractions).  Deterministic
+    transitions are the special case of a single branch of probability 1.
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[Key, List[Branch]] = {}
+
+    def add(
+        self,
+        state: str,
+        input_symbol: str,
+        work_symbol: str,
+        action: Action,
+        probability: Fraction | int | str = 1,
+    ) -> "TransitionTable":
+        """Add one branch; returns self for chaining."""
+        prob = Fraction(probability)
+        if prob <= 0 or prob > 1:
+            raise MachineError(f"branch probability must be in (0, 1], got {prob}")
+        key = (state, input_symbol, work_symbol)
+        branches = self._table.setdefault(key, [])
+        total = sum((p for p, _ in branches), Fraction(0)) + prob
+        if total > 1:
+            raise MachineError(f"probabilities for {key} exceed 1 (total {total})")
+        branches.append((prob, action))
+        return self
+
+    def add_deterministic(
+        self, state: str, input_symbol: str, work_symbol: str, action: Action
+    ) -> "TransitionTable":
+        return self.add(state, input_symbol, work_symbol, action, Fraction(1))
+
+    def add_uniform(
+        self,
+        state: str,
+        input_symbol: str,
+        work_symbol: str,
+        actions: Iterable[Action],
+    ) -> "TransitionTable":
+        """Add equally likely branches."""
+        actions = list(actions)
+        if not actions:
+            raise MachineError("add_uniform needs at least one action")
+        p = Fraction(1, len(actions))
+        for action in actions:
+            self.add(state, input_symbol, work_symbol, action, p)
+        return self
+
+    def branches(self, state: str, input_symbol: str, work_symbol: str) -> List[Branch]:
+        """The distribution for a key; empty list means 'no rule' (halt)."""
+        return self._table.get((state, input_symbol, work_symbol), [])
+
+    def validate(self) -> None:
+        """Check every defined distribution sums to exactly 1."""
+        for key, branches in self._table.items():
+            total = sum((p for p, _ in branches), Fraction(0))
+            if total != 1:
+                raise MachineError(f"distribution for {key} sums to {total}, not 1")
+
+    def states(self) -> set[str]:
+        """All states mentioned anywhere in the table."""
+        found: set[str] = set()
+        for (state, _, _), branches in self._table.items():
+            found.add(state)
+            for _, action in branches:
+                found.add(action.state)
+        return found
+
+    def work_alphabet(self) -> set[str]:
+        """All work symbols read or written by the table."""
+        symbols: set[str] = set()
+        for (_, _, work), branches in self._table.items():
+            symbols.add(work)
+            for _, action in branches:
+                symbols.add(action.write)
+        return symbols
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def items(self):
+        return self._table.items()

@@ -1,0 +1,143 @@
+"""Deterministic finite automata with exact minimization.
+
+The classical side of the footnote-2 separation: the unary language
+``L_p = {a^i : p | i}`` has Myhill-Nerode index exactly p, so every DFA
+for it has >= p states.  Both facts are computed, not asserted:
+:func:`minimize_dfa` is a partition-refinement (Moore) minimizer, and
+:func:`unary_myhill_nerode_index` computes the index of a unary
+language directly from its characteristic sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Sequence, Tuple
+
+from ..errors import ReproError
+
+
+@dataclass(frozen=True)
+class DFA:
+    """A complete DFA over an explicit alphabet."""
+
+    states: Tuple[str, ...]
+    alphabet: Tuple[str, ...]
+    transition: Dict[Tuple[str, str], str]
+    initial: str
+    accepting: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if self.initial not in self.states:
+            raise ReproError("initial state unknown")
+        for s in self.states:
+            for a in self.alphabet:
+                if (s, a) not in self.transition:
+                    raise ReproError(f"missing transition ({s!r}, {a!r})")
+                if self.transition[(s, a)] not in self.states:
+                    raise ReproError(f"transition ({s!r}, {a!r}) leaves the state set")
+        if not self.accepting <= set(self.states):
+            raise ReproError("accepting states unknown")
+
+    def accepts(self, word: str) -> bool:
+        state = self.initial
+        for ch in word:
+            if ch not in self.alphabet:
+                raise ReproError(f"symbol {ch!r} outside the alphabet")
+            state = self.transition[(state, ch)]
+        return state in self.accepting
+
+    @property
+    def size(self) -> int:
+        return len(self.states)
+
+
+def mod_dfa(p: int, residue: int = 0, symbol: str = "a") -> DFA:
+    """The p-state DFA for {a^i : i = residue mod p}."""
+    if p < 1:
+        raise ReproError("p must be >= 1")
+    states = tuple(f"q{r}" for r in range(p))
+    transition = {(f"q{r}", symbol): f"q{(r + 1) % p}" for r in range(p)}
+    return DFA(
+        states=states,
+        alphabet=(symbol,),
+        transition=transition,
+        initial="q0",
+        accepting=frozenset({f"q{residue % p}"}),
+    )
+
+
+def _reachable(dfa: DFA) -> list[str]:
+    seen = [dfa.initial]
+    seen_set = {dfa.initial}
+    i = 0
+    while i < len(seen):
+        for a in dfa.alphabet:
+            nxt = dfa.transition[(seen[i], a)]
+            if nxt not in seen_set:
+                seen_set.add(nxt)
+                seen.append(nxt)
+        i += 1
+    return seen
+
+
+def minimize_dfa(dfa: DFA) -> DFA:
+    """Moore partition refinement; returns an equivalent minimal DFA."""
+    states = _reachable(dfa)
+    # Initial partition: accepting / rejecting.
+    block_of: Dict[str, int] = {
+        s: (0 if s in dfa.accepting else 1) for s in states
+    }
+    changed = True
+    while changed:
+        changed = False
+        signature: Dict[str, tuple] = {}
+        for s in states:
+            signature[s] = (
+                block_of[s],
+                tuple(block_of[dfa.transition[(s, a)]] for a in dfa.alphabet),
+            )
+        # Re-number blocks by signature.
+        sig_ids: Dict[tuple, int] = {}
+        new_block: Dict[str, int] = {}
+        for s in states:
+            sig = signature[s]
+            if sig not in sig_ids:
+                sig_ids[sig] = len(sig_ids)
+            new_block[s] = sig_ids[sig]
+        if new_block != block_of:
+            block_of = new_block
+            changed = True
+    n_blocks = len(set(block_of.values()))
+    new_states = tuple(f"m{b}" for b in range(n_blocks))
+    transition: Dict[Tuple[str, str], str] = {}
+    for s in states:
+        for a in dfa.alphabet:
+            transition[(f"m{block_of[s]}", a)] = f"m{block_of[dfa.transition[(s, a)]]}"
+    accepting = frozenset(f"m{block_of[s]}" for s in states if s in dfa.accepting)
+    return DFA(
+        states=new_states,
+        alphabet=dfa.alphabet,
+        transition=transition,
+        initial=f"m{block_of[dfa.initial]}",
+        accepting=accepting,
+    )
+
+
+def unary_myhill_nerode_index(
+    member: Callable[[int], bool], horizon: int
+) -> int:
+    """Myhill-Nerode index of a unary language from its characteristic
+    sequence, distinguishing prefixes a^i and a^j by suffixes up to
+    length *horizon*.
+
+    Exact whenever the language's characteristic sequence is (eventually)
+    periodic with preperiod + 2 * period <= horizon — true for the mod-p
+    languages with horizon >= 2p.  This count is a lower bound on the
+    states of any DFA for the language.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    rows = []
+    for i in range(horizon):
+        rows.append(tuple(member(i + m) for m in range(horizon)))
+    return len(set(rows))

@@ -1,0 +1,93 @@
+"""Measure-many one-way quantum finite automata (Kondacs-Watrous).
+
+After every symbol the state is measured against the decomposition
+{accepting, rejecting, non-halting}; halting probability mass
+accumulates as the word streams.  Strictly more powerful than MO-1QFAs
+(and the model Ambainis-Freivalds analyze in full); provided for
+completeness and tested on the same mod languages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+from .mo1qfa import _check_unitary
+
+#: End-of-word marker every MM-1QFA reads after the input proper.
+END_MARKER = "$"
+
+
+class MM1QFA:
+    """A measure-many 1-way QFA.
+
+    Parameters
+    ----------
+    unitaries:
+        One unitary per symbol, including one for the end marker ``$``.
+    initial:
+        Normalized start vector.
+    accepting, rejecting:
+        Disjoint accepting / rejecting basis-state index sets; the rest
+        are non-halting.
+    """
+
+    def __init__(
+        self,
+        unitaries: Dict[str, np.ndarray],
+        initial: np.ndarray,
+        accepting: Sequence[int],
+        rejecting: Sequence[int],
+    ) -> None:
+        if END_MARKER not in unitaries:
+            raise ReproError(f"MM-1QFA needs a unitary for the end marker {END_MARKER!r}")
+        self.unitaries = {
+            sym: _check_unitary(m, f"unitary[{sym!r}]") for sym, m in unitaries.items()
+        }
+        dims = {m.shape[0] for m in self.unitaries.values()}
+        if len(dims) != 1:
+            raise ReproError("symbol unitaries must share a dimension")
+        (self.n,) = dims
+        initial = np.ascontiguousarray(initial, dtype=np.complex128)
+        if initial.shape != (self.n,):
+            raise ReproError("initial vector has the wrong shape")
+        if abs(np.vdot(initial, initial).real - 1.0) > 1e-9:
+            raise ReproError("initial vector must be normalized")
+        self.initial = initial
+        acc = sorted(set(int(i) for i in accepting))
+        rej = sorted(set(int(i) for i in rejecting))
+        if set(acc) & set(rej):
+            raise ReproError("accepting and rejecting sets must be disjoint")
+        for i in acc + rej:
+            if not 0 <= i < self.n:
+                raise ReproError("halting indices out of range")
+        self.accepting = acc
+        self.rejecting = rej
+        self.non_halting = [
+            i for i in range(self.n) if i not in set(acc) | set(rej)
+        ]
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def acceptance_probability(self, word: str) -> float:
+        """Total probability of halting in an accepting state."""
+        vec = self.initial.copy()
+        p_accept = 0.0
+        for ch in word + END_MARKER:
+            u = self.unitaries.get(ch)
+            if u is None:
+                raise ReproError(f"symbol {ch!r} outside the alphabet")
+            vec = u @ vec
+            p_accept += float(np.sum(np.abs(vec[self.accepting]) ** 2))
+            # Collapse: zero out the halting components, continue unnormalized
+            # (the standard density formulation; norms track probabilities).
+            vec[self.accepting] = 0.0
+            vec[self.rejecting] = 0.0
+        return p_accept
+
+    def accepts(self, word: str, cutpoint: float = 0.5) -> bool:
+        return self.acceptance_probability(word) > cutpoint

@@ -1,0 +1,87 @@
+"""Measure-once one-way quantum finite automata (Moore-Crutchfield).
+
+A MO-1QFA applies one unitary per input symbol to a state vector and
+performs a single projective measurement at the end; the acceptance
+probability is the squared norm of the projection onto the accepting
+subspace.  The number of (basis) states is the dimension — the quantity
+the footnote-2 separation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+def _check_unitary(m: np.ndarray, label: str) -> np.ndarray:
+    m = np.ascontiguousarray(m, dtype=np.complex128)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ReproError(f"{label}: matrix must be square")
+    if not np.allclose(m.conj().T @ m, np.eye(m.shape[0]), atol=1e-9):
+        raise ReproError(f"{label}: matrix is not unitary")
+    return m
+
+
+class MO1QFA:
+    """A measure-once 1-way QFA.
+
+    Parameters
+    ----------
+    unitaries:
+        One unitary per alphabet symbol (shared dimension d).
+    initial:
+        The start vector (normalized, length d).
+    accepting:
+        Indices of the accepting basis states (the final measurement
+        projects onto their span).
+    """
+
+    def __init__(
+        self,
+        unitaries: Dict[str, np.ndarray],
+        initial: np.ndarray,
+        accepting: Sequence[int],
+    ) -> None:
+        if not unitaries:
+            raise ReproError("need at least one symbol unitary")
+        self.unitaries = {
+            sym: _check_unitary(m, f"unitary[{sym!r}]") for sym, m in unitaries.items()
+        }
+        dims = {m.shape[0] for m in self.unitaries.values()}
+        if len(dims) != 1:
+            raise ReproError("symbol unitaries must share a dimension")
+        (self.n,) = dims
+        initial = np.ascontiguousarray(initial, dtype=np.complex128)
+        if initial.shape != (self.n,):
+            raise ReproError("initial vector has the wrong shape")
+        if abs(np.vdot(initial, initial).real - 1.0) > 1e-9:
+            raise ReproError("initial vector must be normalized")
+        self.initial = initial
+        accepting = sorted(set(int(i) for i in accepting))
+        if accepting and not (0 <= accepting[0] and accepting[-1] < self.n):
+            raise ReproError("accepting indices out of range")
+        self.accepting = accepting
+
+    @property
+    def size(self) -> int:
+        """Number of basis states (the state-count measure)."""
+        return self.n
+
+    def final_state(self, word: str) -> np.ndarray:
+        vec = self.initial
+        for ch in word:
+            u = self.unitaries.get(ch)
+            if u is None:
+                raise ReproError(f"symbol {ch!r} outside the alphabet")
+            vec = u @ vec
+        return vec
+
+    def acceptance_probability(self, word: str) -> float:
+        vec = self.final_state(word)
+        return float(np.sum(np.abs(vec[self.accepting]) ** 2))
+
+    def accepts(self, word: str, cutpoint: float = 0.5) -> bool:
+        return self.acceptance_probability(word) > cutpoint

@@ -1,0 +1,79 @@
+"""Probabilistic finite automata (stochastic-matrix semantics).
+
+Included as the classical randomized point of comparison: Rabin PFAs
+with an *isolated cutpoint* also need ~p states for the mod-p language
+(the footnote-2 separation is quantum vs all classical automata), and
+having a runnable PFA keeps the comparison concrete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..errors import ReproError
+
+
+class PFA:
+    """A PFA: row-stochastic matrix per symbol, initial row, accept vector."""
+
+    def __init__(
+        self,
+        matrices: Dict[str, np.ndarray],
+        initial: np.ndarray,
+        accepting: np.ndarray,
+    ) -> None:
+        if not matrices:
+            raise ReproError("need at least one symbol matrix")
+        dims = {m.shape for m in matrices.values()}
+        if len(dims) != 1:
+            raise ReproError("symbol matrices must share a shape")
+        (shape,) = dims
+        if shape[0] != shape[1]:
+            raise ReproError("symbol matrices must be square")
+        self.n = shape[0]
+        for sym, m in matrices.items():
+            if np.any(m < -1e-12) or not np.allclose(m.sum(axis=1), 1.0, atol=1e-9):
+                raise ReproError(f"matrix for {sym!r} is not row-stochastic")
+        initial = np.asarray(initial, dtype=np.float64)
+        accepting = np.asarray(accepting, dtype=np.float64)
+        if initial.shape != (self.n,) or accepting.shape != (self.n,):
+            raise ReproError("initial/accepting vectors have the wrong shape")
+        if abs(initial.sum() - 1.0) > 1e-9 or np.any(initial < -1e-12):
+            raise ReproError("initial vector must be a distribution")
+        if np.any((accepting < -1e-12) | (accepting > 1 + 1e-12)):
+            raise ReproError("accepting vector entries must lie in [0, 1]")
+        self.matrices = {s: np.ascontiguousarray(m, dtype=np.float64) for s, m in matrices.items()}
+        self.initial = initial
+        self.accepting = accepting
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def acceptance_probability(self, word: str) -> float:
+        row = self.initial
+        for ch in word:
+            m = self.matrices.get(ch)
+            if m is None:
+                raise ReproError(f"symbol {ch!r} outside the alphabet")
+            row = row @ m
+        return float(row @ self.accepting)
+
+    def accepts(self, word: str, cutpoint: float = 0.5) -> bool:
+        return self.acceptance_probability(word) > cutpoint
+
+
+def mod_pfa(p: int, residue: int = 0, symbol: str = "a") -> PFA:
+    """The deterministic mod-p counter expressed as a (degenerate) PFA."""
+    if p < 1:
+        raise ReproError("p must be >= 1")
+    m = np.zeros((p, p))
+    for r in range(p):
+        m[r, (r + 1) % p] = 1.0
+    initial = np.zeros(p)
+    initial[0] = 1.0
+    accepting = np.zeros(p)
+    accepting[residue % p] = 1.0
+    return PFA({symbol: m}, initial, accepting)

@@ -1,0 +1,77 @@
+"""Register layout for procedure A3's state |i>|h>|l>.
+
+The paper's A3 state lives on three registers: a ``2k``-qubit index
+register holding i in {0, ..., 2^{2k} - 1}, and two one-qubit flags h
+and l.  We lay them out as:
+
+* qubits ``0 .. 2k-1``  — index register (qubit q = bit q of i),
+* qubit ``2k``          — h,
+* qubit ``2k + 1``      — l ("the last qubit" measured in step 5).
+
+Compiled circuits may use additional clean ancilla qubits starting at
+``2k + 2`` (see :mod:`repro.quantum.compile`); the layout records how
+many so space accounting includes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QuantumError
+
+
+@dataclass(frozen=True)
+class A3Registers:
+    """Qubit indices of procedure A3's registers for a given k."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QuantumError("k must be >= 1")
+
+    @property
+    def index_qubits(self) -> int:
+        """Width of the index register: 2k."""
+        return 2 * self.k
+
+    @property
+    def string_length(self) -> int:
+        """N = 2^{2k}, the length of the strings x and y."""
+        return 1 << (2 * self.k)
+
+    @property
+    def h_qubit(self) -> int:
+        return 2 * self.k
+
+    @property
+    def l_qubit(self) -> int:
+        return 2 * self.k + 1
+
+    @property
+    def total_qubits(self) -> int:
+        """Qubits of the algorithm-level state: 2k + 2."""
+        return 2 * self.k + 2
+
+    @property
+    def index_mask(self) -> int:
+        """Bitmask extracting the index register from a basis index."""
+        return self.string_length - 1
+
+    @property
+    def h_bit(self) -> int:
+        """Bit value of the h qubit inside a basis index."""
+        return 1 << self.h_qubit
+
+    @property
+    def l_bit(self) -> int:
+        return 1 << self.l_qubit
+
+    @property
+    def dimension(self) -> int:
+        return 1 << self.total_qubits
+
+    def ancilla_range(self, count: int) -> range:
+        """Qubit labels for *count* clean ancillas placed after l."""
+        start = self.total_qubits
+        return range(start, start + count)

@@ -1,0 +1,127 @@
+"""The online-algorithm contract.
+
+An :class:`OnlineAlgorithm` sees its input exactly once, one symbol at a
+time (``feed``), then commits to an output (``finish``).  Implementations
+allocate all mutable state from ``self.workspace`` so that space use is
+measured, and report quantum usage through ``self.qubits_used``.
+
+Decisions are booleans (True = accept); richer outputs are allowed for
+non-decision procedures (e.g. fingerprint values in tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rng import ensure_rng
+from .workspace import SpaceReport, Workspace
+
+
+class OnlineAlgorithm(ABC):
+    """Base class for one-pass algorithms with measured space.
+
+    Subclasses must implement :meth:`feed` and :meth:`finish`, and should
+    do all allocation in ``__init__`` (or lazily on first feed) via
+    ``self.workspace``.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier used in reports.
+    rng:
+        Randomness source; anything accepted by :func:`repro.rng.ensure_rng`.
+    budget_bits:
+        Optional hard classical-space budget (enforced, not just observed).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rng: Any = None,
+        budget_bits: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.rng: np.random.Generator = ensure_rng(rng)
+        self.workspace = Workspace(owner=name, budget_bits=budget_bits)
+        self._finished = False
+        self._fed = 0
+
+    # -- the one-pass contract ------------------------------------------
+
+    @abstractmethod
+    def feed(self, symbol: str) -> None:
+        """Consume the next input symbol."""
+
+    @abstractmethod
+    def finish(self) -> Any:
+        """Commit to an output after the last symbol.  Called once."""
+
+    # -- driver entry points (enforce the discipline) ---------------------
+
+    def consume(self, symbol: str) -> None:
+        if self._finished:
+            raise ReproError(f"{self.name}: feed after finish")
+        self._fed += 1
+        self.feed(symbol)
+
+    def complete(self) -> Any:
+        if self._finished:
+            raise ReproError(f"{self.name}: finish called twice")
+        self._finished = True
+        return self.finish()
+
+    # -- space accounting -------------------------------------------------
+
+    @property
+    def qubits_used(self) -> int:
+        """Quantum space consumed; classical algorithms report 0."""
+        return 0
+
+    def space_report(self) -> SpaceReport:
+        return self.workspace.report(qubits=self.qubits_used)
+
+    @property
+    def symbols_consumed(self) -> int:
+        return self._fed
+
+
+class FunctionalOnlineAlgorithm(OnlineAlgorithm):
+    """Adapter turning plain functions into an :class:`OnlineAlgorithm`.
+
+    Useful in tests and examples; space metering covers only what the
+    supplied functions store via the workspace handed to them.
+
+    Parameters
+    ----------
+    on_symbol:
+        Called as ``on_symbol(workspace, symbol)`` for each symbol.
+    on_finish:
+        Called as ``on_finish(workspace)``; its return value is the output.
+    setup:
+        Optional ``setup(workspace)`` run once at construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        on_symbol: Callable[[Workspace, str], None],
+        on_finish: Callable[[Workspace], Any],
+        setup: Optional[Callable[[Workspace], None]] = None,
+        rng: Any = None,
+        budget_bits: Optional[int] = None,
+    ) -> None:
+        super().__init__(name, rng=rng, budget_bits=budget_bits)
+        self._on_symbol = on_symbol
+        self._on_finish = on_finish
+        if setup is not None:
+            setup(self.workspace)
+
+    def feed(self, symbol: str) -> None:
+        self._on_symbol(self.workspace, symbol)
+
+    def finish(self) -> Any:
+        return self._on_finish(self.workspace)

@@ -1,0 +1,203 @@
+"""Classical streaming algorithms on the metered substrate.
+
+The paper frames online space complexity as the theory of streaming
+algorithms ("the model of choice for extremely long inputs", citing
+Muthukrishnan's survey) and closes hoping for "space-efficient quantum
+algorithms solving concrete problems for data streams".  This module
+populates that motivating domain: the classic sublinear-space streaming
+algorithms, implemented as :class:`~repro.streaming.algorithm.OnlineAlgorithm`
+subclasses whose space is *measured* by the same workspace the paper's
+recognizers use.
+
+* :class:`MorrisCounter` — approximate counting in O(log log n) bits;
+* :class:`ReservoirSampler` — uniform sample from a stream of unknown
+  length, one stored element;
+* :class:`MisraGriesHeavyHitters` — deterministic frequent-elements
+  sketch with k - 1 counters;
+* :class:`AmsF2Estimator` — the Alon-Matias-Szegedy second-moment
+  sketch, using four-wise independent hashing over F_p (reusing
+  :mod:`repro.mathx`).
+
+Streams here are over the ternary alphabet like everything else; items
+are the symbols themselves (for MG/AMS) or stream positions (reservoir).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..mathx.primes import next_prime
+from .algorithm import OnlineAlgorithm
+from .workspace import GrowingCounter, register_width
+
+
+class MorrisCounter(OnlineAlgorithm):
+    """Morris's approximate counter: count n items in ~log2 log2 n bits.
+
+    Stores only an exponent c, incremented with probability 2^{-c};
+    the estimate is 2^c - 1, unbiased with variance ~n^2/2.  The
+    measured register width is the honest O(log log n) footprint.
+    """
+
+    def __init__(self, rng=None) -> None:
+        super().__init__("morris-counter", rng=rng)
+        self._exp = GrowingCounter(self.workspace, "morris.exponent")
+
+    def feed(self, symbol: str) -> None:
+        c = self._exp.value
+        if self.rng.random() < 2.0 ** (-c):
+            self._exp.increment()
+
+    def finish(self) -> float:
+        return 2.0 ** self._exp.value - 1.0
+
+    @property
+    def exponent_bits(self) -> int:
+        return self.workspace.width("morris.exponent")
+
+
+class ReservoirSampler(OnlineAlgorithm):
+    """Uniform random position from a stream of unknown length.
+
+    Classic reservoir sampling with a reservoir of one: position i
+    replaces the reservoir with probability 1/(i+1).  Space: the stored
+    position and the stream counter, both O(log n).
+    """
+
+    def __init__(self, rng=None, max_stream: int = 1 << 30) -> None:
+        super().__init__("reservoir", rng=rng)
+        self.workspace.alloc_counter("res.count", max_stream)
+        self.workspace.alloc_counter("res.pick", max_stream)
+        self.workspace.alloc("res.symbol", 2)
+
+    def feed(self, symbol: str) -> None:
+        ws = self.workspace
+        seen = ws.get("res.count") + 1
+        ws.set("res.count", seen)
+        if self.rng.random() < 1.0 / seen:
+            ws.set("res.pick", seen - 1)
+            ws.set("res.symbol", {"0": 0, "1": 1, "#": 2}[symbol])
+
+    def finish(self) -> Optional[int]:
+        if self.workspace.get("res.count") == 0:
+            return None
+        return self.workspace.get("res.pick")
+
+
+class MisraGriesHeavyHitters(OnlineAlgorithm):
+    """Misra-Gries: every symbol with frequency > n/k is reported.
+
+    Deterministic, k - 1 counters.  Over the ternary alphabet the sketch
+    is small, but the counter discipline (decrement-all on overflow) is
+    the real algorithm and the error guarantee
+
+        true_count - n/k  <=  estimate  <=  true_count
+
+    is asserted in tests against exact counts.
+    """
+
+    def __init__(self, k: int = 3, max_stream: int = 1 << 30) -> None:
+        super().__init__(f"misra-gries[{k}]")
+        if k < 2:
+            raise ValueError("k must be >= 2")
+        self.k = k
+        self._slots: Dict[str, str] = {}
+        for slot in range(k - 1):
+            self.workspace.alloc(f"mg.key{slot}", 2)
+            self.workspace.alloc_counter(f"mg.count{slot}", max_stream)
+        self.workspace.alloc_counter("mg.n", max_stream)
+
+    def _slot_of(self, symbol: str) -> Optional[int]:
+        code = {"0": 0, "1": 1, "#": 2}[symbol]
+        for slot in range(self.k - 1):
+            if (
+                self.workspace.get(f"mg.count{slot}") > 0
+                and self.workspace.get(f"mg.key{slot}") == code
+            ):
+                return slot
+        return None
+
+    def feed(self, symbol: str) -> None:
+        ws = self.workspace
+        ws.add("mg.n")
+        slot = self._slot_of(symbol)
+        if slot is not None:
+            ws.add(f"mg.count{slot}")
+            return
+        for empty in range(self.k - 1):
+            if ws.get(f"mg.count{empty}") == 0:
+                ws.set(f"mg.key{empty}", {"0": 0, "1": 1, "#": 2}[symbol])
+                ws.set(f"mg.count{empty}", 1)
+                return
+        # All slots busy with other symbols: decrement everyone.
+        for slot in range(self.k - 1):
+            ws.set(f"mg.count{slot}", ws.get(f"mg.count{slot}") - 1)
+
+    def finish(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        names = {0: "0", 1: "1", 2: "#"}
+        for slot in range(self.k - 1):
+            count = self.workspace.get(f"mg.count{slot}")
+            if count > 0:
+                out[names[self.workspace.get(f"mg.key{slot}")]] = count
+        return out
+
+
+class AmsF2Estimator(OnlineAlgorithm):
+    """AMS sketch for the second frequency moment F2 = sum_a f_a^2.
+
+    Each of r independent estimators keeps a running sum
+    ``Z = sum_i s(a_i)`` with four-wise independent signs
+    ``s: items -> {-1, +1}`` drawn from a random cubic polynomial over
+    F_p; ``Z^2`` is an unbiased estimate of F2 and averaging r copies
+    controls the variance.  Space: r signed counters of O(log n) bits
+    plus the 4r hash coefficients — sublinear, metered.
+    """
+
+    def __init__(self, copies: int = 16, rng=None, max_stream: int = 1 << 20) -> None:
+        super().__init__(f"ams-f2[{copies}]", rng=rng)
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        self.copies = copies
+        self.p = next_prime(3)  # items are ternary symbols: p = 5 suffices
+        width = register_width(2 * max_stream)
+        coeff_width = register_width(self.p - 1)
+        for c in range(copies):
+            # Z is signed; store Z + max_stream to keep registers unsigned.
+            self.workspace.alloc(f"ams.z{c}", width)
+            self.workspace.set(f"ams.z{c}", max_stream)
+            for d in range(4):
+                self.workspace.alloc(f"ams.h{c}.{d}", coeff_width)
+                self.workspace.set(
+                    f"ams.h{c}.{d}", int(self.rng.integers(0, self.p))
+                )
+        self._offset = max_stream
+
+    def _sign(self, copy: int, item: int) -> int:
+        acc = 0
+        for d in range(3, -1, -1):
+            acc = (acc * item + self.workspace.get(f"ams.h{copy}.{d}")) % self.p
+        return 1 if acc % 2 == 0 else -1
+
+    def feed(self, symbol: str) -> None:
+        item = {"0": 0, "1": 1, "#": 2}[symbol]
+        for c in range(self.copies):
+            z = self.workspace.get(f"ams.z{c}")
+            self.workspace.set(f"ams.z{c}", z + self._sign(c, item))
+
+    def finish(self) -> float:
+        estimates = []
+        for c in range(self.copies):
+            z = self.workspace.get(f"ams.z{c}") - self._offset
+            estimates.append(float(z) ** 2)
+        return float(np.mean(estimates))
+
+
+def exact_f2(word: str) -> int:
+    """Reference second moment for tests."""
+    counts: Dict[str, int] = {}
+    for ch in word:
+        counts[ch] = counts.get(ch, 0) + 1
+    return sum(v * v for v in counts.values())

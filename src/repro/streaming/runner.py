@@ -1,0 +1,63 @@
+"""Drivers: run an online algorithm over a word and collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from ..rng import ensure_rng, spawn
+from .algorithm import OnlineAlgorithm
+from .stream import InputStream
+from .workspace import SpaceReport
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one pass of an online algorithm over one word."""
+
+    output: Any
+    space: SpaceReport
+    symbols: int
+
+    @property
+    def accepted(self) -> bool:
+        """Interpret the output as an accept/reject decision."""
+        return bool(self.output)
+
+
+def run_online(algorithm: OnlineAlgorithm, word: str) -> RunResult:
+    """Stream *word* through *algorithm* and return its decision and space."""
+    stream = InputStream(word)
+    for symbol in stream:
+        algorithm.consume(symbol)
+    output = algorithm.complete()
+    return RunResult(
+        output=output,
+        space=algorithm.space_report(),
+        symbols=stream.position,
+    )
+
+
+def acceptance_probability_by_sampling(
+    factory: Callable[[np.random.Generator], OnlineAlgorithm],
+    word: str,
+    trials: int,
+    rng: Any = None,
+) -> float:
+    """Empirical acceptance frequency over independent randomized runs.
+
+    *factory* builds a fresh algorithm from a child generator each trial,
+    so trials are independent and the whole experiment reproducible.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    parent = ensure_rng(rng)
+    children = spawn(parent, trials)
+    accepted = 0
+    for child in children:
+        result = run_online(factory(child), word)
+        if result.accepted:
+            accepted += 1
+    return accepted / trials

@@ -1,0 +1,81 @@
+"""One-way input streams over the ternary alphabet.
+
+An :class:`InputStream` models the paper's one-way input tape: symbols
+can be read left to right exactly once.  Reading past the end yields
+``None`` (the blank beyond the input), matching how an online TM
+discovers the end of its input.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..alphabet import validate_word
+from ..errors import ReproError
+
+
+class InputStream:
+    """A read-once, left-to-right stream of Sigma-symbols.
+
+    Parameters
+    ----------
+    word:
+        The full input word.  It is validated against Sigma once, up
+        front; the stream itself then only moves a cursor, so streaming
+        a word of length n costs O(n) total.
+    """
+
+    __slots__ = ("_word", "_pos")
+
+    def __init__(self, word: str) -> None:
+        self._word = validate_word(word)
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Number of symbols read so far."""
+        return self._pos
+
+    @property
+    def length(self) -> int:
+        """Total length of the underlying word."""
+        return len(self._word)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every symbol has been read."""
+        return self._pos >= len(self._word)
+
+    def read(self) -> Optional[str]:
+        """Read the next symbol, or ``None`` if the input is exhausted."""
+        if self._pos >= len(self._word):
+            return None
+        ch = self._word[self._pos]
+        self._pos += 1
+        return ch
+
+    def __iter__(self) -> Iterator[str]:
+        while True:
+            ch = self.read()
+            if ch is None:
+                return
+            yield ch
+
+    def rewind(self) -> None:
+        """Forbidden: the input tape is one-way.
+
+        Provided (and raising) deliberately so misuse fails loudly rather
+        than silently breaking the model.
+        """
+        raise ReproError("the input tape is one-way; rewinding is not allowed")
+
+
+def stream_symbols(parts: Iterable[str]) -> Iterator[str]:
+    """Yield the symbols of each part in order, validating each part.
+
+    Convenience for building test streams from structured pieces, e.g.
+    ``stream_symbols(["1"*k, "#", x, "#", y, "#"])``.
+    """
+    for part in parts:
+        validate_word(part)
+        yield from part

@@ -1,0 +1,82 @@
+"""Space-over-time tracing of online algorithms.
+
+Streaming algorithms are defined by their memory staying small *at every
+moment*, not just at the end.  :func:`run_online_traced` samples the
+live register bits as the stream flows, producing the space profile —
+the curve a figure would plot.  The profiles also reveal *when* space is
+committed: all the paper's algorithms allocate at the ``1^k#`` header
+(once k is known) and stay flat afterwards, which is itself a checkable
+property (:func:`is_flat_after`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .algorithm import OnlineAlgorithm
+from .combinators import ParallelComposition
+from .runner import RunResult
+from .stream import InputStream
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One sample of the space profile."""
+
+    symbols: int
+    live_bits: int
+
+
+def _live_bits(algorithm: OnlineAlgorithm) -> int:
+    if isinstance(algorithm, ParallelComposition):
+        return algorithm.workspace.live_bits + sum(
+            _live_bits(child) for child in algorithm.children
+        )
+    return algorithm.workspace.live_bits
+
+
+def run_online_traced(
+    algorithm: OnlineAlgorithm, word: str, samples: int = 64
+) -> Tuple[RunResult, List[TracePoint]]:
+    """Run the algorithm, sampling live bits ~*samples* times along the way.
+
+    The first sample is taken before any symbol, the last after the
+    final symbol; sampling is free (it reads the workspace accounting,
+    it does not touch algorithm state).
+    """
+    if samples < 2:
+        raise ValueError("need at least 2 samples")
+    stream = InputStream(word)
+    stride = max(1, len(word) // (samples - 1))
+    trace: List[TracePoint] = [TracePoint(0, _live_bits(algorithm))]
+    for symbol in stream:
+        algorithm.consume(symbol)
+        if stream.position % stride == 0 or stream.position == len(word):
+            trace.append(TracePoint(stream.position, _live_bits(algorithm)))
+    output = algorithm.complete()
+    if trace[-1].symbols != len(word):
+        trace.append(TracePoint(len(word), _live_bits(algorithm)))
+    result = RunResult(
+        output=output, space=algorithm.space_report(), symbols=stream.position
+    )
+    return result, trace
+
+
+def peak_of(trace: List[TracePoint]) -> int:
+    """Largest sampled live-bit count."""
+    return max(p.live_bits for p in trace) if trace else 0
+
+
+def is_flat_after(trace: List[TracePoint], position: int, tolerance: int = 0) -> bool:
+    """True when the profile never rises more than *tolerance* bits above
+    its value at the first sample at/after *position*.
+
+    The paper's algorithms commit all their space at the header: their
+    profiles are flat (tolerance 0) once the header has been read.
+    """
+    tail = [p for p in trace if p.symbols >= position]
+    if not tail:
+        return True
+    base = tail[0].live_bits
+    return all(p.live_bits <= base + tolerance for p in tail)

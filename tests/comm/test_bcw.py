@@ -1,0 +1,109 @@
+"""Unit tests for the BCW quantum protocol (Theorem 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.comm import BCWDisjointnessProtocol, disjoint_pair, intersecting_pair
+from repro.errors import ProtocolError
+
+
+class TestCorrectness:
+    def test_disjoint_always_accepted(self, rng):
+        """One-sided error: disjoint pairs can never be 'detected'."""
+        proto = BCWDisjointnessProtocol(2, sample_measurement=True)
+        for seed in range(10):
+            x, y = disjoint_pair(16, np.random.default_rng(seed))
+            assert proto.run(x, y, rng).output == 1
+            assert proto.exact_detection_probability(x, y) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("t", [1, 4, 8, 15, 16])
+    def test_intersections_detected_at_quarter_rate(self, t):
+        proto = BCWDisjointnessProtocol(2)
+        x, y = intersecting_pair(16, t, np.random.default_rng(t))
+        assert proto.exact_detection_probability(x, y) >= 0.25
+
+    def test_sampled_detection_matches_exact(self, rng):
+        proto = BCWDisjointnessProtocol(1, sample_measurement=True)
+        x, y = intersecting_pair(4, 2, np.random.default_rng(0))
+        exact = proto.exact_detection_probability(x, y)
+        trials = 1500
+        detected = sum(
+            1 - proto.run(x, y, np.random.default_rng(5000 + i)).output
+            for i in range(trials)
+        )
+        assert abs(detected / trials - exact) < 0.04
+
+
+class TestCommunicationCost:
+    def test_message_size_is_logarithmic(self, rng):
+        for k in (1, 2, 3):
+            proto = BCWDisjointnessProtocol(k)
+            assert proto.worst_case_cost()["qubits_per_message"] == 2 * k + 2
+
+    def test_worst_case_rounds_sqrt_n(self):
+        for k in (1, 2, 3, 4):
+            cost = BCWDisjointnessProtocol(k).worst_case_cost()
+            sqrt_n = 1 << k
+            assert cost["rounds"] == 2 * (sqrt_n - 1) + 1
+
+    def test_measured_cost_matches_formula(self, rng):
+        k = 2
+        j = 3
+        proto = BCWDisjointnessProtocol(k, iterations=j)
+        x, y = disjoint_pair(16, rng)
+        result = proto.run(x, y, rng)
+        assert result.transcript.qubits == (2 * j + 1) * (2 * k + 2)
+
+    def test_worst_case_total_qubits_below_n(self):
+        """The point of Theorem 3.1: o(n) qubits for DISJ_n (vs n classical)
+        once n is large enough.  The measured crossover of
+        (2 sqrt(n) - 1)(2k + 2) against n sits at k = 5 (n = 1024)."""
+        for k in (5, 6, 7, 8):
+            n = 1 << (2 * k)
+            cost = BCWDisjointnessProtocol(k).worst_case_cost()
+            assert cost["qubits"] < n
+        # Below the crossover the constant-factor overhead still dominates.
+        assert BCWDisjointnessProtocol(4).worst_case_cost()["qubits"] > 1 << 8
+
+    def test_scaling_is_sqrt_n_log_n(self):
+        """qubits / (sqrt(n) log2 n) stays bounded as n grows."""
+        ratios = []
+        for k in range(1, 8):
+            n = 1 << (2 * k)
+            cost = BCWDisjointnessProtocol(k).worst_case_cost()
+            ratios.append(cost["qubits"] / (np.sqrt(n) * np.log2(n)))
+        assert max(ratios) <= ratios[0] + 1e-9  # non-increasing constants
+
+
+class TestStructure:
+    def test_players_only_hold_the_register(self):
+        """The key structural property used by Theorem 3.4: player state
+        is nothing but the operators derived from their own input."""
+        from repro.comm.bcw import _AliceState, _BobState
+
+        assert set(_AliceState.__slots__) == {"vx", "uk", "sk"}
+        assert set(_BobState.__slots__) == {"wy", "ry", "regs"}
+
+    def test_input_length_validation(self, rng):
+        with pytest.raises(ProtocolError):
+            BCWDisjointnessProtocol(2).run("01", "10", rng)
+
+    def test_k_validation(self):
+        with pytest.raises(ProtocolError):
+            BCWDisjointnessProtocol(0)
+
+    def test_fixed_iterations_ablation(self):
+        """A fixed j misses some t badly; the BBHT average does not."""
+        k = 2
+        n = 16
+        worst_fixed = 1.0
+        for j in range(1 << k):
+            proto = BCWDisjointnessProtocol(k, iterations=j)
+            worst = min(
+                __import__("repro.quantum.grover", fromlist=["GroverA3"])
+                .GroverA3(k, *intersecting_pair(n, t, np.random.default_rng(t)))
+                .detection_probability(j)
+                for t in range(1, n)
+            )
+            worst_fixed = min(worst_fixed, worst)
+        assert worst_fixed < 0.05

@@ -1,0 +1,109 @@
+"""Unit tests for classical baselines and the fingerprint protocol."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    BlockedOneWayProtocol,
+    FingerprintEqualityProtocol,
+    TrivialOneWayProtocol,
+    all_pairs,
+    disj,
+    exact_collision_probability,
+)
+from repro.comm.fingerprint import a2_modulus, bit_cost, choose_modulus
+from repro.errors import ProtocolError
+
+
+class TestTrivialProtocol:
+    def test_always_correct(self, rng):
+        proto = TrivialOneWayProtocol()
+        for x, y in all_pairs(3):
+            assert proto.run(x, y, rng).output == disj(x, y)
+
+    def test_cost_is_n_bits(self, rng):
+        result = TrivialOneWayProtocol().run("0" * 24, "1" * 24, rng)
+        assert result.transcript.classical_bits == 24
+        assert result.transcript.qubits == 0
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ProtocolError):
+            TrivialOneWayProtocol().run("01", "0", rng)
+
+
+class TestBlockedProtocol:
+    def test_correct_all_blocks(self, rng):
+        proto = BlockedOneWayProtocol(block=2)
+        for x, y in all_pairs(3):
+            assert proto.run(x, y, rng).output == disj(x, y)
+
+    def test_total_cost_still_n(self, rng):
+        result = BlockedOneWayProtocol(block=3).run("010101", "101010", rng)
+        assert result.transcript.classical_bits == 6
+        assert len(result.transcript) == 2
+
+    def test_block_validation(self):
+        with pytest.raises(ProtocolError):
+            BlockedOneWayProtocol(0)
+
+
+class TestFingerprintEquality:
+    def test_equal_strings_always_pass(self, rng):
+        proto = FingerprintEqualityProtocol(p=97)
+        for _ in range(20):
+            s = "1011010010"
+            assert proto.run(s, s, rng).output == 1
+
+    def test_unequal_strings_usually_fail(self, rng):
+        proto = FingerprintEqualityProtocol(p=997)
+        x = "1" * 10
+        y = "1" * 9 + "0"
+        accepts = sum(proto.run(x, y, rng).output for _ in range(300))
+        assert accepts / 300 < 0.05
+
+    def test_message_cost_logarithmic(self, rng):
+        p = a2_modulus(2)
+        proto = FingerprintEqualityProtocol(p)
+        result = proto.run("01" * 8, "01" * 8, rng)
+        assert result.transcript.classical_bits == 2 * bit_cost(p)
+        assert result.transcript.classical_bits <= 2 * (4 * 2 + 1)
+
+    def test_exact_collision_probability_bound(self):
+        p = 101
+        x, y = "110010", "010011"
+        exact = exact_collision_probability(x, y, p)
+        assert exact <= (len(x) - 1) / p
+
+    def test_exact_collision_matches_enumeration(self):
+        from repro.mathx.modular import evaluate_polynomial, polynomial_from_bits
+
+        p = 31
+        x, y = "10110", "10011"
+        manual = sum(
+            evaluate_polynomial(polynomial_from_bits(x), t, p)
+            == evaluate_polynomial(polynomial_from_bits(y), t, p)
+            for t in range(p)
+        ) / p
+        assert exact_collision_probability(x, y, p) == pytest.approx(manual)
+
+    def test_equal_strings_collide_always(self):
+        assert exact_collision_probability("0101", "0101", 17) == 1.0
+
+    def test_sampled_error_matches_exact(self, rng):
+        p = 61
+        x, y = "111000", "110100"
+        exact = exact_collision_probability(x, y, p)
+        proto = FingerprintEqualityProtocol(p)
+        trials = 4000
+        hits = sum(proto.run(x, y, rng).output for _ in range(trials))
+        assert abs(hits / trials - exact) < 0.03
+
+    def test_choose_modulus(self):
+        p = choose_modulus(10)
+        assert p > 100
+
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            FingerprintEqualityProtocol(1)
+        with pytest.raises(ValueError):
+            exact_collision_probability("01", "011", 17)

@@ -1,0 +1,80 @@
+"""Unit tests for the exact communication lower bounds."""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    communication_matrix,
+    disj,
+    disj_fooling_set,
+    fooling_set_bound_bits,
+    is_fooling_set,
+    log_rank_bound_bits,
+    one_way_deterministic_bits,
+)
+from repro.comm.lowerbounds import all_strings, disj_exact_bounds
+
+
+class TestFoolingSets:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_disj_fooling_set_verifies(self, n):
+        pairs = disj_fooling_set(n)
+        assert len(pairs) == 1 << n
+        assert is_fooling_set(disj, pairs, value=1)
+
+    def test_bound_is_n_bits(self):
+        for n in (2, 3, 4):
+            assert fooling_set_bound_bits(disj, disj_fooling_set(n)) == n
+
+    def test_non_fooling_set_detected(self):
+        # Two pairs whose crosses are still disjoint: not fooling.
+        bad = [("00", "00"), ("10", "00")]
+        assert not is_fooling_set(disj, bad, value=1)
+        assert fooling_set_bound_bits(disj, bad) == 0
+
+    def test_wrong_value_detected(self):
+        assert not is_fooling_set(disj, [("11", "11")], value=1)
+
+
+class TestMatrixBounds:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_one_way_bits_exactly_n(self, n):
+        xs = all_strings(n)
+        m = communication_matrix(disj, xs, xs)
+        # All 2^n rows of the DISJ matrix are distinct.
+        assert one_way_deterministic_bits(m) == n
+
+    def test_log_rank_full(self):
+        xs = all_strings(3)
+        m = communication_matrix(disj, xs, xs)
+        assert log_rank_bound_bits(m) == 3
+
+    def test_constant_function_needs_nothing(self):
+        xs = all_strings(2)
+        m = communication_matrix(lambda x, y: 1, xs, xs)
+        assert one_way_deterministic_bits(m) == 0
+        assert log_rank_bound_bits(m) == 0
+
+    def test_matrix_values(self):
+        m = communication_matrix(disj, ["10", "01"], ["10", "01"])
+        assert m.tolist() == [[0, 1], [1, 0]]
+
+    def test_all_strings_guard(self):
+        with pytest.raises(ValueError):
+            all_strings(13)
+
+
+class TestDisjExactBounds:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_all_three_agree_at_n(self, n):
+        bounds = disj_exact_bounds(n)
+        assert bounds["fooling_set_bits"] == n
+        assert bounds["one_way_bits"] == n
+        assert bounds["log_rank_bits"] == n
+
+    def test_bounds_match_theorem_3_2_shape(self):
+        """The computable bounds grow linearly in n — the finite shadow of
+        R(DISJ_n) = Omega(n)."""
+        values = [disj_exact_bounds(n)["one_way_bits"] for n in range(1, 7)]
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        assert all(d == 1 for d in diffs)

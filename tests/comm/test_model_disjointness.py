@@ -1,0 +1,96 @@
+"""Unit tests for the protocol framework and DISJ."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    Message,
+    Transcript,
+    all_pairs,
+    disj,
+    disjoint_pair,
+    intersecting_pair,
+    intersection_size,
+    random_pair,
+)
+from repro.errors import ProtocolError
+
+
+class TestTranscript:
+    def test_costs_accumulate(self):
+        t = Transcript()
+        t.send("Alice", "m1", classical_bits=5)
+        t.send("Bob", "m2", qubits=3)
+        t.send("Alice", "m3", classical_bits=2, qubits=1)
+        assert t.classical_bits == 7
+        assert t.qubits == 4
+        assert len(t) == 3
+
+    def test_rounds_count_alternations(self):
+        t = Transcript()
+        for sender in ("Alice", "Alice", "Bob", "Alice"):
+            t.send(sender, None)
+        assert t.rounds == 3
+
+    def test_empty_rounds(self):
+        assert Transcript().rounds == 0
+
+    def test_send_returns_payload(self):
+        t = Transcript()
+        assert t.send("Alice", {"a": 1}) == {"a": 1}
+
+    def test_message_validation(self):
+        with pytest.raises(ProtocolError):
+            Message("Carol", None)
+        with pytest.raises(ProtocolError):
+            Message("Alice", None, classical_bits=-1)
+
+
+class TestDisj:
+    @pytest.mark.parametrize(
+        "x,y,value",
+        [("000", "111", 1), ("100", "100", 0), ("010", "101", 1), ("1", "1", 0)],
+    )
+    def test_values(self, x, y, value):
+        assert disj(x, y) == value
+
+    def test_intersection_size(self):
+        assert intersection_size("1101", "1011") == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            disj("01", "011")
+
+    def test_exhaustive_consistency(self):
+        for x, y in all_pairs(3):
+            assert disj(x, y) == (1 if intersection_size(x, y) == 0 else 0)
+
+
+class TestGenerators:
+    def test_disjoint_pair_is_disjoint(self, rng):
+        for _ in range(20):
+            x, y = disjoint_pair(32, rng)
+            assert disj(x, y) == 1
+
+    @given(st.integers(1, 16), st.integers(0, 16))
+    @settings(max_examples=40)
+    def test_intersecting_pair_exact_t(self, n, t):
+        if t > n:
+            with pytest.raises(ValueError):
+                intersecting_pair(n, t, np.random.default_rng(0))
+            return
+        x, y = intersecting_pair(n, t, np.random.default_rng(n * 31 + t))
+        assert intersection_size(x, y) == t
+
+    def test_random_pair_lengths(self, rng):
+        x, y = random_pair(40, rng)
+        assert len(x) == len(y) == 40
+
+    def test_all_pairs_count(self):
+        assert len(list(all_pairs(2))) == 16
+
+    def test_all_pairs_guard(self):
+        with pytest.raises(ValueError):
+            list(all_pairs(9))

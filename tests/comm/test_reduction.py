@@ -1,0 +1,135 @@
+"""Unit tests for the Theorem 3.6 machine-to-protocol reduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.comm import (
+    ReducedOneWayProtocol,
+    all_pairs,
+    disj,
+    ldisj_schedule,
+    simple_disj_schedule,
+)
+from repro.comm.model import ALICE, BOB
+from repro.comm.reduction import (
+    message_bits_from_supports,
+    space_lower_bound_from_cuts,
+)
+from repro.errors import ReductionError
+from repro.machines import disjointness_machine
+from repro.machines.distributions import acceptance_probability
+
+
+@pytest.fixture(scope="module")
+def disj3_protocol():
+    segments, final = simple_disj_schedule()
+    return ReducedOneWayProtocol(disjointness_machine(3), segments, final)
+
+
+class TestExactEquivalence:
+    """The compiled protocol is the same stochastic process as the machine."""
+
+    def test_protocol_probability_equals_machine(self, disj3_protocol):
+        machine = disjointness_machine(3)
+        for x, y in all_pairs(3):
+            word = disj3_protocol.assembled_word(x, y)
+            expected = acceptance_probability(machine, word)
+            got = disj3_protocol.exact_run(x, y)["accept_probability"]
+            assert got == expected, (x, y)
+
+    def test_protocol_computes_disj(self, disj3_protocol):
+        """For the deterministic machine the compiled protocol is exact."""
+        for x, y in all_pairs(3):
+            result = disj3_protocol.exact_run(x, y)
+            assert result["accept_probability"] == disj(x, y)
+            assert result["diverged"] == 0
+
+    def test_sampled_run_matches_exact(self, disj3_protocol, rng):
+        for x, y in [("101", "010"), ("101", "001")]:
+            outputs = {disj3_protocol.run(x, y, rng).output for _ in range(5)}
+            assert outputs == {disj(x, y)}
+
+
+class TestSupportsAndCosts:
+    def test_cut_supports_cover_all_inputs(self, disj3_protocol):
+        pairs = list(all_pairs(3))
+        supports = disj3_protocol.cut_supports(pairs)
+        assert len(supports) == 1
+        # One configuration per possible stored x: exactly 2^3.
+        assert len(supports[0]) == 8
+
+    def test_message_bits_reflect_storage(self, disj3_protocol):
+        """The configuration message carries the whole of x — exactly the
+        Omega(n) communication Theorem 3.2 says is unavoidable."""
+        supports = disj3_protocol.cut_supports(all_pairs(3))
+        assert message_bits_from_supports(supports) == [3]
+
+    def test_supports_grow_with_m(self):
+        sizes = []
+        for m in (2, 3, 4):
+            segments, final = simple_disj_schedule()
+            proto = ReducedOneWayProtocol(disjointness_machine(m), segments, final)
+            supports = proto.cut_supports(all_pairs(m))
+            sizes.append(len(supports[0]))
+        assert sizes == [4, 8, 16]
+
+    def test_sampled_message_cost_uses_supports(self, rng):
+        segments, final = simple_disj_schedule()
+        machine = disjointness_machine(3)
+        supports = ReducedOneWayProtocol(machine, segments, final).cut_supports(
+            all_pairs(3)
+        )
+        proto = ReducedOneWayProtocol(machine, segments, final, supports=supports)
+        result = proto.run("101", "010", rng)
+        # One 3-bit configuration message + the 1-bit verdict.
+        assert result.transcript.classical_bits == 4
+
+
+class TestLdisjSchedule:
+    def test_shapes(self):
+        segments, final = ldisj_schedule(1)
+        # 3 * 2^1 = 6 fields; step 1 covers the first, steps 2..5 one each,
+        # the 6th is the final local segment.
+        assert len(segments) == 5
+        assert segments[0].owner == ALICE
+        owners = [s.owner for s in segments[1:]]
+        assert owners == [BOB, ALICE, ALICE, BOB]
+        assert final.owner == ALICE
+
+    def test_assembled_word_is_ldisj_word(self):
+        from repro.core.language import ldisj_word
+
+        segments, final = ldisj_schedule(1)
+        machine = disjointness_machine(4)  # any machine; only text matters
+        proto = ReducedOneWayProtocol(machine, segments, final)
+        x, y = "1010", "0101"
+        assert proto.assembled_word(x, y) == ldisj_word(1, x, y)
+
+    def test_owner_pattern_matches_paper(self):
+        """Step i is Bob's iff i = 2 mod 3 (1-indexed), else Alice's."""
+        segments, _ = ldisj_schedule(2)
+        for i, seg in enumerate(segments, start=1):
+            expected = BOB if i % 3 == 2 else ALICE
+            assert seg.owner == expected, i
+
+    def test_k_validation(self):
+        with pytest.raises(ReductionError):
+            ldisj_schedule(0)
+
+
+class TestClosingStep:
+    def test_space_lower_bound_monotone_in_bits(self):
+        s_small = space_lower_bound_from_cuts(30, 10, 100, 3, 10)
+        s_large = space_lower_bound_from_cuts(3000, 10, 100, 3, 10)
+        assert s_large > s_small
+
+    def test_reproduces_fact_2_2_inversion(self):
+        from repro.machines.configuration import space_needed_for_configurations
+
+        s = space_lower_bound_from_cuts(64, 4, 100, 3, 10)
+        assert s == space_needed_for_configurations(1 << 16, 100, 3, 10)
+
+    def test_validation(self):
+        with pytest.raises(ReductionError):
+            space_lower_bound_from_cuts(10, 0, 100, 3, 10)

@@ -1,0 +1,20 @@
+"""Shared fixtures: deterministic RNGs per test."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator (independent per test)."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def rng_stream():
+    """Factory for several independent fixed-seed generators."""
+
+    def make(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

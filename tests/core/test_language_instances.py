@@ -1,0 +1,124 @@
+"""Unit tests for L_DISJ assembly, parsing, membership, and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    MALFORMED_KINDS,
+    in_ldisj,
+    intersecting_nonmember,
+    ldisj_word,
+    malformed_nonmember,
+    member,
+    parse_ldisj,
+    word_length,
+)
+from repro.core.language import (
+    parse_condition_i,
+    repetitions,
+    string_length,
+)
+from repro.errors import FormatError
+
+
+class TestAssembly:
+    def test_k1_example(self):
+        w = ldisj_word(1, "1010", "0101")
+        assert w == "1#" + ("1010#0101#1010#" * 2)
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_word_length_formula(self, k):
+        n = string_length(k)
+        x = "0" * n
+        y = "1" * n
+        assert len(ldisj_word(k, x, y)) == word_length(k)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(FormatError):
+            ldisj_word(1, "101", "0101")
+
+    def test_non_bits_rejected(self):
+        from repro.errors import AlphabetError
+
+        with pytest.raises(AlphabetError):
+            ldisj_word(1, "10#0", "0101")
+
+
+class TestParsing:
+    def test_member_roundtrip(self, rng):
+        w = member(2, rng)
+        inst = parse_ldisj(w)
+        assert inst is not None
+        assert inst.word == w
+        assert inst.is_member
+
+    def test_nonmember_parses_but_not_member(self, rng):
+        w = intersecting_nonmember(2, 5, rng)
+        inst = parse_ldisj(w)
+        assert inst is not None
+        assert not inst.is_member
+        assert inst.intersection == 5
+
+    @pytest.mark.parametrize("kind", MALFORMED_KINDS)
+    def test_malformed_fails_parse_or_consistency(self, kind, rng):
+        w = malformed_nonmember(2, kind, rng)
+        assert parse_ldisj(w) is None
+        assert not in_ldisj(w)
+
+    def test_condition_i_separates_structure_from_content(self, rng):
+        # x_drift violates (ii) but keeps (i).
+        w = malformed_nonmember(2, "x_drift", rng)
+        assert parse_ldisj(w) is None
+        parsed = parse_condition_i(w)
+        assert parsed is not None
+        k, blocks = parsed
+        assert k == 2 and len(blocks) == 3 * repetitions(2)
+
+    def test_truncated_fails_condition_i(self, rng):
+        w = malformed_nonmember(2, "truncated", rng)
+        assert parse_condition_i(w) is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "#", "1", "1#", "0#0101", "11#x", "1#1010#0101#1010", "1#1010#0101#1010##"],
+    )
+    def test_garbage_words(self, bad):
+        cleaned = bad.replace("x", "0")
+        assert parse_ldisj(cleaned) is None
+
+    def test_membership_requires_disjointness(self):
+        w_member = ldisj_word(1, "1010", "0101")
+        w_not = ldisj_word(1, "1010", "1101")
+        assert in_ldisj(w_member)
+        assert not in_ldisj(w_not)
+
+    def test_unknown_malformed_kind(self, rng):
+        with pytest.raises(FormatError):
+            malformed_nonmember(1, "nope", rng)
+
+
+class TestGenerators:
+    @given(st.integers(1, 3), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_member_always_in_language(self, k, seed):
+        assert in_ldisj(member(k, np.random.default_rng(seed)))
+
+    @given(st.integers(1, 3), st.integers(1, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_intersecting_nonmember_never_in_language(self, k, t, seed):
+        t = min(t, string_length(k))
+        w = intersecting_nonmember(k, t, np.random.default_rng(seed))
+        assert not in_ldisj(w)
+        inst = parse_ldisj(w)
+        assert inst is not None and inst.intersection == t
+
+    @pytest.mark.parametrize("kind", MALFORMED_KINDS)
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_every_malformed_kind_every_k(self, kind, k, rng):
+        assert not in_ldisj(malformed_nonmember(k, kind, rng))
+
+    def test_t_zero_rejected(self, rng):
+        with pytest.raises(ValueError):
+            intersecting_nonmember(1, 0, rng)

@@ -1,0 +1,76 @@
+"""Unit tests for the offline O(log n) recognizer (the E11 contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MALFORMED_KINDS,
+    OfflineLogspaceRecognizer,
+    intersecting_nonmember,
+    malformed_nonmember,
+    member,
+)
+from repro.core.language import in_ldisj, string_length
+
+
+@pytest.fixture(scope="module")
+def rec():
+    return OfflineLogspaceRecognizer()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_members_accepted(self, rec, k):
+        for seed in range(3):
+            word = member(k, np.random.default_rng(seed))
+            assert rec.decide(word).accepted
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_every_intersection_size_rejected(self, rec, k):
+        n = string_length(k)
+        for t in (1, n // 2, n):
+            word = intersecting_nonmember(k, t, np.random.default_rng(t))
+            assert rec.decide(word).rejected
+
+    @pytest.mark.parametrize("kind", MALFORMED_KINDS)
+    def test_malformed_rejected(self, rec, kind, rng):
+        word = malformed_nonmember(2, kind, rng)
+        assert rec.decide(word).rejected
+
+    def test_agrees_with_reference_on_small_words(self, rec, rng):
+        """Deterministic and exact: decision == in_ldisj, always."""
+        words = [member(1, rng) for _ in range(3)]
+        words += [intersecting_nonmember(1, t, rng) for t in (1, 2, 4)]
+        words += [malformed_nonmember(1, kind, rng) for kind in MALFORMED_KINDS]
+        words += ["", "#", "1", "0#0", "1#0101"]
+        for word in words:
+            assert rec.decide(word).accepted == in_ldisj(word), word
+
+
+class TestSpace:
+    def test_logarithmic_bits(self, rec):
+        bits = []
+        for k in (1, 2, 3, 4):
+            word = member(k, np.random.default_rng(k))
+            bits.append(rec.decide(word).space.classical_bits)
+        # Additive growth in k: O(log n), like the quantum online machine.
+        increments = [b - a for a, b in zip(bits, bits[1:])]
+        assert max(increments) <= 14
+        assert bits[-1] < 60
+
+    def test_exponentially_below_online_classical(self, rec):
+        """The E11 point: two-way access removes the n^{1/3} term."""
+        from repro.core import BlockwiseClassicalRecognizer
+        from repro.streaming import run_online
+
+        k = 5
+        word = member(k, np.random.default_rng(0))
+        offline_bits = rec.decide(word).space.classical_bits
+        online_bits = run_online(
+            BlockwiseClassicalRecognizer(rng=0), word
+        ).space.classical_bits
+        assert offline_bits * 3 < online_bits
+
+    def test_reads_are_counted(self, rec, rng):
+        d = rec.decide(member(1, rng))
+        assert d.reads > len(member(1, rng))  # multiple passes over the input

@@ -1,0 +1,60 @@
+"""Unit tests for the separation harness (the headline E5 experiment)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SeparationRow, separation_table
+from repro.core.separation import separation_row
+
+
+class TestSeparationRow:
+    def test_single_row(self):
+        row = separation_row(1, rng=0)
+        assert row.k == 1
+        assert row.qubits == 4
+        assert row.quantum_total > 0 and row.classical_bits > 0
+
+    def test_full_storage_optional(self):
+        row = separation_row(1, rng=0, include_full_storage=True)
+        assert row.full_storage_bits is not None
+
+    def test_ratio(self):
+        row = SeparationRow(1, 100, 10, 4, 70, 2)
+        assert row.ratio == pytest.approx(5.0)
+        assert row.quantum_total == 14
+        assert row.gap == 60
+        assert row.core_ratio == pytest.approx(0.5)
+
+
+class TestSeparationTable:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return separation_table([1, 2, 3, 4], rng=0)
+
+    def test_qubits_grow_linearly(self, table):
+        assert [r.qubits for r in table] == [4, 6, 8, 10]
+
+    def test_quantum_space_is_logarithmic(self, table):
+        """Quantum total grows additively with k (k = log-ish of n)."""
+        totals = [r.quantum_total for r in table]
+        increments = [b - a for a, b in zip(totals, totals[1:])]
+        assert max(increments) <= 60
+
+    def test_classical_space_has_exponential_component(self, table):
+        """Prop 3.7's chunk register doubles with k: the classical-minus-
+        quantum gap grows geometrically."""
+        gaps = [r.classical_bits - r.quantum_classical_bits for r in table]
+        # gap ~ 2^k + small; consecutive differences double.
+        diffs = [b - a for a, b in zip(gaps, gaps[1:])]
+        assert diffs[-1] >= 2 * diffs[-2] - 2
+
+    def test_n_matches_word_length(self, table):
+        from repro.core.language import word_length
+
+        for row in table:
+            assert row.n == word_length(row.k)
+
+    def test_deterministic_given_seed(self):
+        a = separation_table([1, 2], rng=5)
+        b = separation_table([1, 2], rng=5)
+        assert a == b

@@ -1,0 +1,113 @@
+"""Unit tests for the shared online block parser."""
+
+import pytest
+
+from repro.core.instances import malformed_nonmember, member
+from repro.core.structure import BlockStreamParser, block_type, round_index
+from repro.streaming import Workspace
+
+
+class Recorder:
+    def __init__(self):
+        self.headers = []
+        self.bits = []
+        self.ends = []
+        self.malformed = 0
+
+    def on_header(self, k):
+        self.headers.append(k)
+
+    def on_block_bit(self, block, pos, bit):
+        self.bits.append((block, pos, bit))
+
+    def on_block_end(self, block):
+        self.ends.append(block)
+
+    def on_malformed(self):
+        self.malformed += 1
+
+
+def parse(word):
+    ws = Workspace("t")
+    parser = BlockStreamParser(ws)
+    rec = Recorder()
+    parser.subscribe(rec)
+    for ch in word:
+        parser.feed(ch)
+    ok = parser.finish()
+    return parser, rec, ok, ws
+
+
+class TestWellFormed:
+    def test_member_word_parses(self, rng):
+        word = member(1, rng)
+        parser, rec, ok, _ = parse(word)
+        assert ok and parser.well_formed
+        assert rec.headers == [1]
+        assert rec.ends == list(range(6))
+        assert len(rec.bits) == 6 * 4
+        assert rec.malformed == 0
+
+    def test_bits_reconstruct_blocks(self, rng):
+        from repro.core.language import parse_condition_i
+
+        word = member(2, rng)
+        _, rec, ok, _ = parse(word)
+        assert ok
+        _, blocks = parse_condition_i(word)
+        rebuilt = [["?"] * len(blocks[0]) for _ in blocks]
+        for block, pos, bit in rec.bits:
+            rebuilt[block][pos] = "1" if bit else "0"
+        assert ["".join(b) for b in rebuilt] == blocks
+
+    def test_space_is_logarithmic(self, rng):
+        word = member(3, rng)  # ~12k symbols
+        _, _, ok, ws = parse(word)
+        assert ok
+        # Counters: k (2 bits) + phase (2) + pos (2k+1 = 7) + block (k+2 = 5).
+        assert ws.peak_bits <= 24
+
+
+class TestMalformed:
+    @pytest.mark.parametrize(
+        "kind", ["truncated", "extra_symbol", "bad_header", "hash_in_block", "zero_k"]
+    )
+    def test_structural_violations_detected(self, kind, rng):
+        word = malformed_nonmember(2, kind, rng)
+        parser, rec, ok, _ = parse(word)
+        assert not ok
+        assert rec.malformed == 1  # fired exactly once
+
+    def test_content_violations_pass_structure(self, rng):
+        word = malformed_nonmember(2, "y_drift", rng)
+        _, rec, ok, _ = parse(word)
+        assert ok and rec.malformed == 0
+
+    def test_empty_word(self):
+        _, rec, ok, _ = parse("")
+        assert not ok
+
+    def test_header_only(self):
+        _, _, ok, _ = parse("11#")
+        assert not ok
+
+    def test_bad_symbol_after_done_is_flagged(self, rng):
+        word = member(1, rng) + "#"
+        parser, rec, ok, _ = parse(word)
+        assert not ok and rec.malformed == 1
+
+    def test_malformed_is_absorbing(self):
+        ws = Workspace("t")
+        parser = BlockStreamParser(ws)
+        parser.feed("0")  # immediately malformed
+        for ch in "1#01":
+            parser.feed(ch)  # ignored
+        assert not parser.finish()
+
+
+class TestHelpers:
+    def test_block_type_pattern(self):
+        assert [block_type(i) for i in range(6)] == ["x", "y", "z", "x", "y", "z"]
+
+    def test_round_index(self):
+        assert [round_index(i) for i in range(7)] == [0, 0, 0, 1, 1, 1, 2]

@@ -1,0 +1,68 @@
+"""Unit tests for the exhaustive small-k verifiers."""
+
+import pytest
+
+from repro.core.verify import (
+    VerificationReport,
+    verify_offline_exhaustive,
+    verify_proposition_3_7_exhaustive,
+    verify_theorem_3_4_exhaustive,
+)
+
+
+class TestTheorem34Exhaustive:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return verify_theorem_3_4_exhaustive(k=1)
+
+    def test_every_pair_checked(self, report):
+        assert report.pairs_checked == 256
+        assert report.members == 81  # 3^4 disjoint patterns
+
+    def test_no_failures(self, report):
+        assert report.ok
+
+    def test_members_accepted_with_probability_one(self, report):
+        assert report.worst_member_acceptance == pytest.approx(1.0)
+
+    def test_worst_rejection_is_three_eighths(self, report):
+        """At k = 1 the worst case is t = 3 (theta = pi/3): the two
+        iteration counts give sin^2(pi/3) = 3/4 and sin^2(pi) = 0,
+        averaging to a detection probability of 3/8."""
+        assert report.worst_nonmember_rejection == pytest.approx(0.375)
+
+
+class TestCorruptionSurface:
+    def test_every_edit_rejected_k1(self):
+        from repro.core.verify import verify_corruption_surface_exhaustive
+
+        r = verify_corruption_surface_exhaustive(k=1)
+        assert r.ok
+        assert r.pairs_checked == 64  # 2 alternatives x 32 positions
+        # Structural edits are rejected w.p. 1; content edits by A2's 16/17.
+        assert r.worst_nonmember_rejection == pytest.approx(16 / 17)
+
+    def test_every_edit_rejected_k2(self):
+        from repro.core.verify import verify_corruption_surface_exhaustive
+
+        r = verify_corruption_surface_exhaustive(k=2)
+        assert r.ok and r.pairs_checked == 414
+        assert r.worst_nonmember_rejection == pytest.approx(256 / 257)
+
+
+class TestOtherVerifiers:
+    def test_proposition_3_7(self):
+        report = verify_proposition_3_7_exhaustive(k=1)
+        assert report.ok and report.pairs_checked == 256
+
+    def test_offline(self):
+        report = verify_offline_exhaustive(k=1)
+        assert report.ok and report.pairs_checked == 256
+
+    def test_k_guard(self):
+        with pytest.raises(ValueError):
+            verify_theorem_3_4_exhaustive(k=3)
+
+    def test_report_ok_property(self):
+        r = VerificationReport("c", 1, 10, 5, 2, 1.0, 1.0)
+        assert not r.ok

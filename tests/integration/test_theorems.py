@@ -1,0 +1,198 @@
+"""Integration tests: each of the paper's results, end to end.
+
+These are the acceptance tests of the reproduction — one class per
+theorem, exercising the full pipeline (language -> streams ->
+recognizers -> exact probabilities) rather than individual modules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bounds import doubling_exponent, envelope_is_stable
+from repro.comm import (
+    BCWDisjointnessProtocol,
+    ReducedOneWayProtocol,
+    all_pairs,
+    disj,
+    ldisj_schedule,
+    simple_disj_schedule,
+)
+from repro.comm.reduction import message_bits_from_supports, space_lower_bound_from_cuts
+from repro.core import (
+    BlockwiseClassicalRecognizer,
+    QuantumOnlineRecognizer,
+    intersecting_nonmember,
+    malformed_nonmember,
+    member,
+    separation_table,
+)
+from repro.core.amplification import exact_amplified_acceptance
+from repro.core.language import string_length, word_length
+from repro.core.quantum_recognizer import exact_acceptance_probability
+from repro.machines import disjointness_machine
+from repro.streaming import run_online
+
+
+class TestTheorem31UpperBound:
+    """BCW: quantum communication O(sqrt(n) log n) for DISJ_n."""
+
+    def test_cost_shape(self):
+        xs, ys = [], []
+        for k in range(1, 9):
+            n = 1 << (2 * k)
+            xs.append(n)
+            ys.append(BCWDisjointnessProtocol(k).worst_case_cost()["qubits"])
+        assert envelope_is_stable(xs, ys, lambda n: np.sqrt(n) * np.log2(n))
+        # And strictly below linear for large n.
+        assert ys[-1] < xs[-1] / 4
+
+
+class TestTheorem34QuantumUpperBound:
+    """L_DISJ-complement in OQRL: one-sided error, O(log n) space."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_perfect_completeness(self, k):
+        for seed in range(3):
+            word = member(k, np.random.default_rng(seed))
+            assert exact_acceptance_probability(word) == pytest.approx(1.0)
+
+    def test_quarter_soundness_exhaustive_k1(self):
+        """Every t at k = 1, exact."""
+        n = string_length(1)
+        for t in range(1, n + 1):
+            for seed in range(3):
+                word = intersecting_nonmember(1, t, np.random.default_rng(seed))
+                assert 1 - exact_acceptance_probability(word) >= 0.25 - 1e-9
+
+    def test_space_is_logarithmic(self):
+        xs, bits, qubits = [], [], []
+        for k in (1, 2, 3, 4):
+            word = member(k, np.random.default_rng(k))
+            rec = QuantumOnlineRecognizer(rng=k)
+            report = run_online(rec, word).space
+            xs.append(word_length(k))
+            bits.append(report.classical_bits)
+            qubits.append(report.qubits)
+        assert envelope_is_stable(xs, bits, lambda n: np.log2(n))
+        assert envelope_is_stable(xs, qubits, lambda n: np.log2(n))
+
+
+class TestCorollary35BoundedError:
+    """L_DISJ in OQBPL: both error sides below 1/3 after amplification."""
+
+    def test_two_thirds_both_sides_k1(self):
+        r = 4
+        n = string_length(1)
+        word_in = member(1, np.random.default_rng(0))
+        assert exact_amplified_acceptance(word_in, r) >= 2 / 3
+        for t in range(1, n + 1):
+            word_out = intersecting_nonmember(1, t, np.random.default_rng(t))
+            assert exact_amplified_acceptance(word_out, r) <= 1 / 3
+
+    def test_malformed_also_below_one_third(self, rng):
+        for kind in ("truncated", "x_drift", "y_drift"):
+            word = malformed_nonmember(1, kind, rng)
+            assert exact_amplified_acceptance(word, 4) <= 1 / 3
+
+
+class TestProposition37ClassicalUpperBound:
+    """O(n^{1/3}) classical space suffices."""
+
+    def test_space_fits_cube_root_envelope(self):
+        xs, ys = [], []
+        for k in (1, 2, 3, 4, 5):
+            word = member(k, np.random.default_rng(k))
+            rec = BlockwiseClassicalRecognizer(rng=k)
+            xs.append(word_length(k))
+            ys.append(run_online(rec, word).space.classical_bits)
+        # Chunk register = exactly n^{1/3}-ish: the dominant term's
+        # empirical exponent must sit near 1/3 for the register alone.
+        chunks = [1 << k for k in (1, 2, 3, 4, 5)]
+        assert doubling_exponent(xs, chunks) == pytest.approx(1 / 3, abs=0.02)
+        # Total space: cube-root envelope is stable.
+        assert envelope_is_stable(xs, ys, lambda n: n ** (1 / 3), slack=1.6)
+
+    def test_correctness_on_both_sides(self):
+        word_in = member(2, np.random.default_rng(3))
+        word_out = intersecting_nonmember(2, 2, np.random.default_rng(4))
+        assert run_online(BlockwiseClassicalRecognizer(rng=0), word_in).accepted
+        assert not run_online(BlockwiseClassicalRecognizer(rng=0), word_out).accepted
+
+
+class TestTheorem36LowerBoundMachinery:
+    """The machine -> protocol reduction, run end to end."""
+
+    def test_reduction_preserves_acceptance_exactly(self):
+        machine = disjointness_machine(3)
+        segments, final = simple_disj_schedule()
+        proto = ReducedOneWayProtocol(machine, segments, final)
+        from repro.machines.distributions import acceptance_probability
+
+        for x, y in all_pairs(3):
+            word = proto.assembled_word(x, y)
+            assert proto.exact_run(x, y)["accept_probability"] == acceptance_probability(
+                machine, word
+            )
+
+    def test_message_cost_grows_linearly_with_m(self):
+        """The paper's chain: a correct machine must ship Omega(m) bits of
+        configuration across the x|y cut."""
+        totals = []
+        for m in (2, 3, 4, 5):
+            machine = disjointness_machine(m)
+            segments, final = simple_disj_schedule()
+            proto = ReducedOneWayProtocol(machine, segments, final)
+            supports = proto.cut_supports(all_pairs(m))
+            totals.append(sum(message_bits_from_supports(supports)))
+        assert totals == [2, 3, 4, 5]
+
+    def test_space_lower_bound_recovered(self):
+        """Close the loop: from the measured message cost, Fact 2.2 gives a
+        space bound the actual machine satisfies with the right order."""
+        m = 4
+        machine = disjointness_machine(m)
+        segments, final = simple_disj_schedule()
+        proto = ReducedOneWayProtocol(machine, segments, final)
+        supports = proto.cut_supports(all_pairs(m))
+        bits = sum(message_bits_from_supports(supports))
+        s_min = space_lower_bound_from_cuts(
+            bits,
+            num_cuts=len(supports),
+            input_length=2 * m + 1,
+            sigma=machine.work_alphabet_size(),
+            q=machine.state_count(),
+        )
+        # The real machine uses m + 2 cells; the bound must not exceed it
+        # and must be at least 1.
+        assert 1 <= s_min <= m + 2
+
+    def test_ldisj_schedule_runs_on_disj_machine(self):
+        """The L_DISJ-shaped schedule also works end to end (the machine
+        rejects the repeated format, but the reduction is still exact)."""
+        machine = disjointness_machine(4)
+        segments, final = ldisj_schedule(1)
+        proto = ReducedOneWayProtocol(machine, segments, final)
+        from repro.machines.distributions import acceptance_probability
+
+        x, y = "1010", "0101"
+        word = proto.assembled_word(x, y)
+        assert proto.exact_run(x, y)["accept_probability"] == acceptance_probability(
+            machine, word
+        )
+
+
+class TestHeadlineSeparation:
+    """The E5 exponential separation, measured end to end."""
+
+    def test_gap_grows_geometrically(self):
+        table = separation_table([1, 2, 3, 4], rng=11)
+        gaps = [r.classical_bits - r.quantum_classical_bits for r in table]
+        # The classical machine pays 2^k more than the quantum one (plus
+        # small parser differences): consecutive gap increments double.
+        increments = [b - a for a, b in zip(gaps, gaps[1:])]
+        assert increments[-1] >= 1.8 * increments[-2]
+
+    def test_quantum_total_is_small_at_every_k(self):
+        table = separation_table([1, 2, 3, 4], rng=11)
+        for row in table:
+            assert row.quantum_total <= 40 * np.log2(row.n)

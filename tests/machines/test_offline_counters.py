@@ -1,0 +1,127 @@
+"""Unit tests for the offline TM model and the tape-counter machines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MachineError
+from repro.machines import (
+    OfflineAction,
+    OfflineTM,
+    OfflineTransitionTable,
+    counting_space_cells,
+    palindrome_machine,
+    power_of_two_ones_machine,
+    nondeterministic_accepts,
+    coin_machine,
+    parity_machine,
+)
+from repro.machines.transition import Move
+
+
+class TestOfflineModel:
+    def test_duplicate_transition_rejected(self):
+        t = OfflineTransitionTable()
+        t.add("q", "0", "#", OfflineAction("q", "#"))
+        with pytest.raises(MachineError):
+            t.add("q", "0", "#", OfflineAction("r", "#"))
+
+    def test_dead_key_rejects(self):
+        t = OfflineTransitionTable()
+        machine = OfflineTM("dead", t, "q", set())
+        assert not machine.run("0").accepted
+
+    def test_states_discovery(self):
+        t = OfflineTransitionTable()
+        t.add("q", "0", "#", OfflineAction("r", "#"))
+        assert t.states() == {"q", "r"}
+
+    def test_two_way_head_moves(self):
+        """A machine that walks to '$' then back to '^' then accepts —
+        impossible for any one-way machine to even express."""
+        t = OfflineTransitionTable()
+        for sym in ("0", "1"):
+            t.add("fwd", sym, "#", OfflineAction("fwd", "#", Move.STAY, Move.RIGHT))
+        t.add("fwd", "$", "#", OfflineAction("bwd", "#", Move.STAY, Move.LEFT))
+        for sym in ("0", "1"):
+            t.add("bwd", sym, "#", OfflineAction("bwd", "#", Move.STAY, Move.LEFT))
+        t.add("bwd", "^", "#", OfflineAction("acc", "#", Move.STAY, Move.STAY))
+        machine = OfflineTM("shuttle", t, "fwd", {"acc"})
+        out = machine.run("0101")
+        assert out.accepted
+        assert out.steps == 2 * 4 + 2
+        assert out.cells_used == 1  # never touched the work tape
+
+
+class TestPalindromeMachine:
+    @pytest.mark.parametrize(
+        "word", ["", "0", "11", "010", "0110", "10101", "1001001", "110011"]
+    )
+    def test_accepts_palindromes(self, word):
+        assert palindrome_machine().run(word).accepted
+
+    @pytest.mark.parametrize("word", ["01", "001", "10011", "110010"])
+    def test_rejects_non_palindromes(self, word):
+        out = palindrome_machine().run(word)
+        assert out.halted and not out.accepted
+
+    @given(st.text(alphabet="01", max_size=16))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, word):
+        assert palindrome_machine().run(word).accepted == (word == word[::-1])
+
+    def test_always_halts(self):
+        out = palindrome_machine().run("01" * 20, max_steps=100_000)
+        assert out.halted
+
+
+class TestCounterMachine:
+    @pytest.mark.parametrize("ones,accept", [
+        (0, False), (1, True), (2, True), (3, False), (4, True),
+        (5, False), (8, True), (12, False), (16, True), (31, False), (32, True),
+    ])
+    def test_power_of_two_predicate(self, ones, accept, rng):
+        word = "1" * ones + "0#0"
+        assert power_of_two_ones_machine().run(word, rng).accepted == accept
+
+    def test_space_is_logarithmic_in_count(self, rng):
+        machine = power_of_two_ones_machine()
+        for ones in (1, 2, 4, 16, 64, 256, 1024):
+            out = machine.run("1" * ones, rng)
+            assert out.cells_used == counting_space_cells(ones)
+        # 1024 ones in 13 cells: log-scale storage on a real tape.
+        assert machine.run("1" * 1024, rng).cells_used == 13
+
+    @given(ones=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_popcount_reference(self, ones):
+        word = "1" * ones
+        want = ones > 0 and (ones & (ones - 1)) == 0
+        out = power_of_two_ones_machine().run(word, 1)
+        assert out.accepted == want
+        assert out.cells_used <= counting_space_cells(max(ones, 1))
+
+    def test_interleaved_zeros_and_hashes_ignored(self, rng):
+        word = "0#1#0#1##00#1#1"  # four 1s
+        assert power_of_two_ones_machine().run(word, rng).accepted
+
+    def test_counting_space_cells_validation(self):
+        with pytest.raises(ValueError):
+            counting_space_cells(-1)
+
+    def test_fact_2_2_holds_for_counter_machine(self):
+        from repro.analysis import check_fact_2_2
+
+        result = check_fact_2_2(power_of_two_ones_machine(), ["1" * 9 + "0"])
+        assert result["ok"]
+
+
+class TestNondeterministicMode:
+    def test_coin_machine_can_accept(self):
+        assert nondeterministic_accepts(coin_machine(), "0")
+
+    def test_deterministic_rejection_stays_rejected(self):
+        assert not nondeterministic_accepts(parity_machine(), "1")
+
+    def test_deterministic_acceptance(self):
+        assert nondeterministic_accepts(parity_machine(), "11")

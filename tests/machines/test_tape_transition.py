@@ -1,0 +1,122 @@
+"""Unit tests for work tapes and transition tables."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machines import Action, Move, TransitionTable, WorkTape
+from repro.machines.tape import BLANK
+
+
+class TestWorkTape:
+    def test_starts_blank(self):
+        tape = WorkTape()
+        assert tape.read() == BLANK
+        assert tape.cells_used == 1
+
+    def test_write_and_move(self):
+        tape = WorkTape()
+        tape.write("1")
+        tape.move(1)
+        tape.write("0")
+        assert tape.snapshot() == ("1", "0")
+        assert tape.cells_used == 2
+
+    def test_left_of_zero_stays(self):
+        tape = WorkTape()
+        tape.move(-1)
+        assert tape.head == 0
+
+    def test_cells_used_counts_visits_not_writes(self):
+        tape = WorkTape()
+        for _ in range(4):
+            tape.move(1)
+        assert tape.cells_used == 5
+        assert tape.snapshot() == ()  # still logically blank
+
+    def test_snapshot_trims_trailing_blanks(self):
+        tape = WorkTape()
+        tape.write("1")
+        tape.move(1)
+        tape.write("#")
+        assert tape.snapshot() == ("1",)
+
+    def test_from_snapshot_roundtrip(self):
+        tape = WorkTape.from_snapshot(("0", "1"), head=1)
+        assert tape.read() == "1"
+        assert tape.snapshot() == ("0", "1")
+
+    def test_invalid_move(self):
+        with pytest.raises(MachineError):
+            WorkTape().move(2)
+
+    def test_invalid_write(self):
+        with pytest.raises(MachineError):
+            WorkTape().write("ab")
+
+    def test_negative_head(self):
+        with pytest.raises(MachineError):
+            WorkTape((), head=-1)
+
+
+class TestAction:
+    def test_input_head_one_way(self):
+        with pytest.raises(MachineError):
+            Action("q", "0", input_move=Move.LEFT)
+
+    def test_emit_one_symbol(self):
+        with pytest.raises(MachineError):
+            Action("q", "0", emit="01")
+
+    def test_defaults(self):
+        a = Action("q", "1")
+        assert a.input_move == Move.RIGHT and a.work_move == Move.STAY
+
+
+class TestTransitionTable:
+    def test_deterministic_add(self):
+        t = TransitionTable()
+        t.add_deterministic("q", "0", BLANK, Action("q", "0"))
+        t.validate()
+        assert len(t) == 1
+
+    def test_probabilities_must_sum_to_one(self):
+        t = TransitionTable()
+        t.add("q", "0", BLANK, Action("a", "0"), Fraction(1, 3))
+        with pytest.raises(MachineError):
+            t.validate()
+        t.add("q", "0", BLANK, Action("b", "0"), Fraction(2, 3))
+        t.validate()
+
+    def test_overweight_rejected_immediately(self):
+        t = TransitionTable()
+        t.add("q", "0", BLANK, Action("a", "0"), Fraction(3, 4))
+        with pytest.raises(MachineError):
+            t.add("q", "0", BLANK, Action("b", "0"), Fraction(1, 2))
+
+    def test_add_uniform(self):
+        t = TransitionTable()
+        t.add_uniform("q", "0", BLANK, [Action("a", "0"), Action("b", "0"), Action("c", "0")])
+        t.validate()
+        assert len(t.branches("q", "0", BLANK)) == 3
+
+    def test_add_uniform_empty(self):
+        with pytest.raises(MachineError):
+            TransitionTable().add_uniform("q", "0", BLANK, [])
+
+    def test_probability_bounds(self):
+        t = TransitionTable()
+        with pytest.raises(MachineError):
+            t.add("q", "0", BLANK, Action("a", "0"), 0)
+        with pytest.raises(MachineError):
+            t.add("q", "0", BLANK, Action("a", "0"), Fraction(5, 4))
+
+    def test_states_and_alphabet_discovery(self):
+        t = TransitionTable()
+        t.add_deterministic("q", "0", BLANK, Action("r", "X"))
+        assert t.states() == {"q", "r"}
+        assert t.work_alphabet() == {BLANK, "X"}
+
+    def test_missing_key_is_empty(self):
+        assert TransitionTable().branches("q", "0", BLANK) == []

@@ -1,0 +1,97 @@
+"""Unit tests for F_p arithmetic and streaming evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.mathx import modular
+from repro.mathx.primes import fingerprint_prime
+
+
+class TestBasics:
+    def test_mod_pow(self):
+        assert modular.mod_pow(3, 4, 7) == 81 % 7
+
+    def test_mod_pow_bad_args(self):
+        with pytest.raises(ValueError):
+            modular.mod_pow(2, -1, 7)
+        with pytest.raises(ValueError):
+            modular.mod_pow(2, 3, 0)
+
+    @given(st.integers(1, 10**6))
+    def test_mod_inverse(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = modular.mod_inverse(a, p)
+        assert (a * inv) % p == 1
+
+    def test_mod_inverse_of_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            modular.mod_inverse(0, 7)
+
+
+class TestStreamingEvaluator:
+    def test_matches_reference(self):
+        p = 97
+        bits = "1011001110"
+        for t in range(p):
+            ev = modular.StreamingPolynomialEvaluator(t, p)
+            ev.feed_bits(int(c) for c in bits)
+            ref = modular.evaluate_polynomial(
+                modular.polynomial_from_bits(bits), t, p
+            )
+            assert ev.value == ref
+
+    @given(st.text(alphabet="01", min_size=1, max_size=200), st.integers(0, 10**6))
+    def test_matches_reference_property(self, bits, t):
+        p = fingerprint_prime(1)  # 17
+        ev = modular.StreamingPolynomialEvaluator(t, p)
+        ev.feed_bits(int(c) for c in bits)
+        ref = modular.evaluate_polynomial(modular.polynomial_from_bits(bits), t, p)
+        assert ev.value == ref
+
+    def test_reset(self):
+        ev = modular.StreamingPolynomialEvaluator(3, 17)
+        ev.feed_bits([1, 0, 1])
+        first = ev.value
+        ev.reset()
+        ev.feed_bits([1, 0, 1])
+        assert ev.value == first
+        assert ev.count == 3
+
+    def test_rejects_non_bits(self):
+        ev = modular.StreamingPolynomialEvaluator(3, 17)
+        with pytest.raises(ReproError):
+            ev.feed(2)
+
+    def test_state_bits_is_two_residues(self):
+        p = fingerprint_prime(2)
+        ev = modular.StreamingPolynomialEvaluator(5, p)
+        assert ev.state_bits() == 2 * (p - 1).bit_length()
+
+    def test_bad_modulus(self):
+        with pytest.raises(ValueError):
+            modular.StreamingPolynomialEvaluator(0, 1)
+
+
+class TestCollisionBound:
+    def test_distinct_strings_collision_fraction(self):
+        # Exhaustive: fraction of t with F_u(t) == F_v(t) is < (len-1)/p.
+        p = 101
+        u, v = "110010", "110001"
+        collisions = 0
+        for t in range(p):
+            fu = modular.evaluate_polynomial(modular.polynomial_from_bits(u), t, p)
+            fv = modular.evaluate_polynomial(modular.polynomial_from_bits(v), t, p)
+            collisions += fu == fv
+        assert collisions / p <= modular.distinct_fingerprint_collision_bound(len(u), p)
+
+    def test_bound_requires_positive_degree(self):
+        with pytest.raises(ValueError):
+            modular.distinct_fingerprint_collision_bound(0, 17)
+
+    def test_polynomial_from_bits_rejects_hash(self):
+        with pytest.raises(ReproError):
+            modular.polynomial_from_bits("01#")

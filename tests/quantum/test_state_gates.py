@@ -1,0 +1,168 @@
+"""Unit tests for state vectors and gate application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantumError
+from repro.quantum import (
+    CNOT_MATRIX,
+    H,
+    S,
+    StateVector,
+    T,
+    T_DAGGER,
+    X,
+    Y,
+    Z,
+    apply_single,
+    apply_two,
+    basis_state,
+    zero_state,
+)
+from repro.quantum.gates import apply_cnot, controlled, kron_all, walsh_hadamard_in_place
+from repro.quantum.state import global_phase_aligned
+
+
+class TestGateMatrices:
+    def test_all_unitary(self):
+        for g in (H, T, T_DAGGER, X, Y, Z, S):
+            assert np.allclose(g.conj().T @ g, np.eye(2), atol=1e-12)
+        assert np.allclose(CNOT_MATRIX.conj().T @ CNOT_MATRIX, np.eye(4), atol=1e-12)
+
+    def test_t_powers(self):
+        assert np.allclose(np.linalg.matrix_power(T, 2), S, atol=1e-12)
+        assert np.allclose(np.linalg.matrix_power(T, 4), Z, atol=1e-12)
+        assert np.allclose(np.linalg.matrix_power(T, 8), np.eye(2), atol=1e-12)
+        assert np.allclose(T @ T_DAGGER, np.eye(2), atol=1e-12)
+
+    def test_x_from_h_z_h(self):
+        assert np.allclose(H @ Z @ H, X, atol=1e-12)
+
+    def test_hadamard_involution(self):
+        assert np.allclose(H @ H, np.eye(2), atol=1e-12)
+
+
+class TestApply:
+    def test_apply_single_x_flips_target_qubit(self):
+        vec = zero_state(3)
+        out = apply_single(vec, 3, X, 1)
+        assert np.allclose(out, basis_state(3, 2))  # bit 1 set
+
+    def test_apply_single_only_touches_target(self):
+        vec = basis_state(3, 5)  # bits 0 and 2
+        out = apply_single(vec, 3, X, 0)
+        assert np.allclose(out, basis_state(3, 4))
+
+    def test_apply_two_cnot_convention(self):
+        # Control = qubit 1, target = qubit 0: |10> (index 2) -> |11> (index 3).
+        vec = basis_state(2, 2)
+        out = apply_two(vec, 2, CNOT_MATRIX, 1, 0)
+        assert np.allclose(out, basis_state(2, 3))
+
+    def test_apply_cnot_matches_dense(self):
+        rng = np.random.default_rng(0)
+        vec = rng.normal(size=8) + 1j * rng.normal(size=8)
+        vec /= np.linalg.norm(vec)
+        dense = apply_two(vec, 3, CNOT_MATRIX, 2, 0)
+        fast = apply_cnot(vec, 3, 2, 0)
+        assert np.allclose(dense, fast, atol=1e-12)
+
+    def test_apply_preserves_norm(self):
+        rng = np.random.default_rng(1)
+        vec = rng.normal(size=16) + 1j * rng.normal(size=16)
+        vec /= np.linalg.norm(vec)
+        for q in range(4):
+            vec = apply_single(vec, 4, H, q)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_bad_qubit_index(self):
+        with pytest.raises(QuantumError):
+            apply_single(zero_state(2), 2, H, 2)
+        with pytest.raises(QuantumError):
+            apply_two(zero_state(2), 2, CNOT_MATRIX, 0, 0)
+
+    def test_controlled_builder(self):
+        assert np.allclose(controlled(X), CNOT_MATRIX, atol=1e-12)
+
+    def test_kron_all(self):
+        assert kron_all(X, X).shape == (4, 4)
+        assert np.allclose(kron_all(np.eye(2), X) @ basis_state(2, 0), basis_state(2, 1))
+
+
+class TestWalshHadamard:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_matches_dense_hadamard(self, m):
+        rng = np.random.default_rng(m)
+        n = 1 << m
+        vec = rng.normal(size=n) + 1j * rng.normal(size=n)
+        dense = kron_all(*([H] * m)) @ vec
+        block = vec.copy().reshape(1, n)
+        walsh_hadamard_in_place(block)
+        assert np.allclose(block.ravel(), dense, atol=1e-10)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(QuantumError):
+            walsh_hadamard_in_place(np.zeros((1, 3), dtype=np.complex128))
+
+
+class TestStateVector:
+    def test_zero_state(self):
+        sv = StateVector.zero(3)
+        assert sv.probability_of_bit(0, 0) == pytest.approx(1.0)
+
+    def test_rejects_unnormalized(self):
+        with pytest.raises(QuantumError):
+            StateVector(np.array([1.0, 1.0], dtype=np.complex128))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(QuantumError):
+            StateVector(np.array([1.0, 0, 0], dtype=np.complex128))
+
+    def test_probability_of_bit(self):
+        plus = StateVector(np.array([1, 1], dtype=np.complex128) / np.sqrt(2))
+        assert plus.probability_of_bit(0, 1) == pytest.approx(0.5)
+
+    def test_marginal(self):
+        bell = StateVector(
+            np.array([1, 0, 0, 1], dtype=np.complex128) / np.sqrt(2)
+        )
+        marg = bell.marginal([0])
+        assert np.allclose(marg, [0.5, 0.5])
+        joint = bell.marginal([0, 1])
+        assert np.allclose(joint, [0.5, 0, 0, 0.5])
+
+    def test_measure_collapses(self, rng):
+        bell = StateVector(
+            np.array([1, 0, 0, 1], dtype=np.complex128) / np.sqrt(2)
+        )
+        outcome, collapsed = bell.measure_qubit(0, rng)
+        # After measuring qubit 0, qubit 1 is perfectly correlated.
+        assert collapsed.probability_of_bit(1, outcome) == pytest.approx(1.0)
+
+    def test_sample_all_distribution(self, rng):
+        plus = StateVector(np.ones(4, dtype=np.complex128) / 2)
+        samples = [plus.sample_all(rng) for _ in range(2000)]
+        counts = np.bincount(samples, minlength=4) / 2000
+        assert np.all(np.abs(counts - 0.25) < 0.05)
+
+    def test_fidelity_and_phase(self):
+        a = StateVector.zero(2)
+        b = StateVector(np.exp(1j * 0.7) * zero_state(2), check=False)
+        assert a.fidelity(b) == pytest.approx(1.0)
+        assert a.equals_up_to_global_phase(b)
+
+    def test_global_phase_aligned(self):
+        u = np.eye(4, dtype=np.complex128)
+        v = np.exp(1j * 1.1) * u
+        phase = global_phase_aligned(v, u)
+        assert phase is not None and abs(phase - np.exp(1j * 1.1)) < 1e-9
+        assert global_phase_aligned(u, np.diag([1, 1, 1, -1]).astype(complex)) is None
+
+    @given(st.integers(1, 5))
+    @settings(max_examples=10)
+    def test_basis_states_orthonormal(self, n):
+        a = StateVector(basis_state(n, 0), check=False)
+        b = StateVector(basis_state(n, (1 << n) - 1), check=False)
+        assert a.fidelity(b) == pytest.approx(0.0)

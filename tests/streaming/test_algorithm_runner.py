@@ -1,0 +1,90 @@
+"""Unit tests for the online-algorithm contract and runners."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.streaming import (
+    FunctionalOnlineAlgorithm,
+    OnlineAlgorithm,
+    acceptance_probability_by_sampling,
+    run_online,
+)
+
+
+def counting_algorithm(budget=None):
+    """Counts '1' symbols; accepts iff the count is even."""
+
+    def setup(ws):
+        ws.alloc("count", 32)
+
+    def on_symbol(ws, ch):
+        if ch == "1":
+            ws.add("count")
+
+    def on_finish(ws):
+        return 1 if ws.get("count") % 2 == 0 else 0
+
+    return FunctionalOnlineAlgorithm(
+        "count-ones", on_symbol, on_finish, setup=setup, budget_bits=budget
+    )
+
+
+class TestContract:
+    def test_run_online(self):
+        result = run_online(counting_algorithm(), "1100#1")
+        assert result.accepted is False  # three 1s
+        assert result.symbols == 6
+        assert result.space.classical_bits == 32
+
+    def test_feed_after_finish_rejected(self):
+        alg = counting_algorithm()
+        alg.complete()
+        with pytest.raises(ReproError):
+            alg.consume("1")
+
+    def test_double_finish_rejected(self):
+        alg = counting_algorithm()
+        alg.complete()
+        with pytest.raises(ReproError):
+            alg.complete()
+
+    def test_symbols_consumed(self):
+        alg = counting_algorithm()
+        for ch in "101":
+            alg.consume(ch)
+        assert alg.symbols_consumed == 3
+
+    def test_classical_algorithm_reports_zero_qubits(self):
+        alg = counting_algorithm()
+        assert alg.qubits_used == 0
+        assert alg.space_report().qubits == 0
+
+
+class TestSampling:
+    def test_deterministic_algorithm_samples_trivially(self):
+        p = acceptance_probability_by_sampling(
+            lambda g: counting_algorithm(), "11", trials=10, rng=0
+        )
+        assert p == 1.0
+
+    def test_random_algorithm_frequency(self):
+        class CoinAlg(OnlineAlgorithm):
+            def __init__(self, rng=None):
+                super().__init__("coin", rng=rng)
+
+            def feed(self, symbol):
+                pass
+
+            def finish(self):
+                return 1 if self.rng.random() < 0.5 else 0
+
+        p = acceptance_probability_by_sampling(
+            lambda g: CoinAlg(rng=g), "0", trials=2000, rng=0
+        )
+        assert 0.45 < p < 0.55
+
+    def test_trials_positive(self):
+        with pytest.raises(ValueError):
+            acceptance_probability_by_sampling(
+                lambda g: counting_algorithm(), "0", trials=0
+            )

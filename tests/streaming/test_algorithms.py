@@ -1,0 +1,108 @@
+"""Unit tests for the classical streaming algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import run_online
+from repro.streaming.algorithms import (
+    AmsF2Estimator,
+    MisraGriesHeavyHitters,
+    MorrisCounter,
+    ReservoirSampler,
+    exact_f2,
+)
+
+
+class TestMorrisCounter:
+    def test_unbiased_in_expectation(self):
+        n = 400
+        word = "1" * n
+        estimates = [
+            run_online(MorrisCounter(rng=seed), word).output for seed in range(400)
+        ]
+        mean = float(np.mean(estimates))
+        assert abs(mean - n) / n < 0.35  # variance is ~n^2/2; 400 reps tame it
+
+    def test_space_is_loglog(self):
+        m = MorrisCounter(rng=0)
+        run_online(m, "1" * 5000)
+        # exponent <= ~log2(5000) + slack; register width = log of that.
+        assert m.exponent_bits <= 5
+
+    def test_empty_stream(self):
+        assert run_online(MorrisCounter(rng=0), "").output == 0.0
+
+
+class TestReservoirSampler:
+    def test_uniform_over_positions(self):
+        word = "0" * 8
+        counts = np.zeros(8)
+        for seed in range(4000):
+            pick = run_online(ReservoirSampler(rng=seed), word).output
+            counts[pick] += 1
+        freq = counts / counts.sum()
+        assert np.all(np.abs(freq - 1 / 8) < 0.03)
+
+    def test_empty_stream_returns_none(self):
+        assert run_online(ReservoirSampler(rng=0), "").output is None
+
+    def test_single_item(self):
+        assert run_online(ReservoirSampler(rng=0), "#").output == 0
+
+
+class TestMisraGries:
+    def test_error_guarantee(self):
+        word = "0" * 60 + "1" * 25 + "#" * 15
+        n = len(word)
+        k = 3
+        sketch = run_online(MisraGriesHeavyHitters(k=k), word).output
+        true = {"0": 60, "1": 25, "#": 15}
+        for sym, est in sketch.items():
+            assert true[sym] - n / k <= est <= true[sym]
+
+    def test_majority_element_always_reported(self):
+        word = "1" * 70 + "0" * 30
+        sketch = run_online(MisraGriesHeavyHitters(k=2), word).output
+        assert "1" in sketch
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            MisraGriesHeavyHitters(k=1)
+
+    def test_interleaving_independence(self):
+        a = run_online(MisraGriesHeavyHitters(k=3), "0" * 50 + "1" * 50).output
+        b = run_online(MisraGriesHeavyHitters(k=3), "01" * 50).output
+        # Same multiset, orderings may differ in sketch content but both
+        # respect the error bound for the only candidates present.
+        for sketch in (a, b):
+            for sym, est in sketch.items():
+                assert est <= 50
+
+
+class TestAmsF2:
+    def test_estimates_f2_within_variance(self):
+        word = ("0" * 40 + "1" * 30 + "#" * 10) * 2
+        exact = exact_f2(word)
+        estimates = [
+            run_online(
+                AmsF2Estimator(copies=48, rng=seed, max_stream=500), word
+            ).output
+            for seed in range(12)
+        ]
+        mean = float(np.mean(estimates))
+        assert abs(mean - exact) / exact < 0.4
+
+    def test_uniform_stream(self):
+        word = "01#" * 30
+        exact = exact_f2(word)  # 3 * 30^2
+        est = run_online(AmsF2Estimator(copies=64, rng=3, max_stream=200), word).output
+        assert est == pytest.approx(exact, rel=0.8)
+
+    def test_copies_validation(self):
+        with pytest.raises(ValueError):
+            AmsF2Estimator(copies=0)
+
+    def test_exact_f2_reference(self):
+        assert exact_f2("0011") == 8
+        assert exact_f2("") == 0
+        assert exact_f2("###") == 9

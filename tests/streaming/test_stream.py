@@ -1,0 +1,64 @@
+"""Unit tests for one-way input streams."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AlphabetError, ReproError
+from repro.streaming import InputStream, stream_symbols
+
+
+class TestInputStream:
+    def test_reads_in_order(self):
+        s = InputStream("01#")
+        assert [s.read(), s.read(), s.read()] == ["0", "1", "#"]
+        assert s.read() is None
+
+    def test_exhaustion_is_sticky(self):
+        s = InputStream("1")
+        s.read()
+        assert s.read() is None
+        assert s.read() is None
+        assert s.exhausted
+
+    def test_position_tracking(self):
+        s = InputStream("0101")
+        assert s.position == 0
+        s.read()
+        s.read()
+        assert s.position == 2
+        assert s.length == 4
+
+    def test_iteration(self):
+        assert list(InputStream("10#1")) == ["1", "0", "#", "1"]
+
+    def test_rewind_forbidden(self):
+        s = InputStream("01")
+        s.read()
+        with pytest.raises(ReproError):
+            s.rewind()
+
+    def test_validates_alphabet(self):
+        with pytest.raises(AlphabetError):
+            InputStream("01a")
+
+    def test_empty_word(self):
+        s = InputStream("")
+        assert s.exhausted
+        assert s.read() is None
+
+    @given(st.text(alphabet="01#", max_size=100))
+    def test_iteration_equals_word(self, word):
+        assert "".join(InputStream(word)) == word
+
+
+class TestStreamSymbols:
+    def test_concatenates_parts(self):
+        assert list(stream_symbols(["10", "#", "01"])) == ["1", "0", "#", "0", "1"]
+
+    def test_validates_each_part(self):
+        gen = stream_symbols(["01", "ab"])
+        assert next(gen) == "0"
+        assert next(gen) == "1"
+        with pytest.raises(AlphabetError):
+            next(gen)

@@ -1,0 +1,77 @@
+"""Unit tests for space-over-time tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core import BlockwiseClassicalRecognizer, QuantumOnlineRecognizer, member
+from repro.streaming import (
+    FunctionalOnlineAlgorithm,
+    is_flat_after,
+    peak_of,
+    run_online_traced,
+)
+from repro.streaming.trace import TracePoint
+
+
+def growing_algorithm():
+    """Allocates one more bit-register every 4 symbols (a non-streaming
+    memory profile, for contrast)."""
+
+    state = {"count": 0}
+
+    def on_symbol(ws, ch):
+        state["count"] += 1
+        if state["count"] % 4 == 0:
+            ws.alloc(f"r{state['count']}", 8)
+
+    return FunctionalOnlineAlgorithm("grower", on_symbol, lambda ws: 1)
+
+
+class TestTracing:
+    def test_trace_covers_whole_stream(self):
+        alg = growing_algorithm()
+        result, trace = run_online_traced(alg, "0" * 40, samples=8)
+        assert trace[0].symbols == 0
+        assert trace[-1].symbols == 40
+        assert result.accepted
+
+    def test_growing_profile_detected(self):
+        _, trace = run_online_traced(growing_algorithm(), "0" * 64, samples=16)
+        assert not is_flat_after(trace, 0)
+        assert peak_of(trace) == (64 // 4) * 8
+
+    def test_samples_validation(self):
+        with pytest.raises(ValueError):
+            run_online_traced(growing_algorithm(), "00", samples=1)
+
+    def test_peak_of_empty(self):
+        assert peak_of([]) == 0
+
+    def test_is_flat_tolerance(self):
+        trace = [TracePoint(0, 10), TracePoint(5, 12), TracePoint(9, 11)]
+        assert is_flat_after(trace, 0, tolerance=2)
+        assert not is_flat_after(trace, 0, tolerance=1)
+
+
+class TestPaperAlgorithmsProfiles:
+    """All the paper's machines commit space at the header and stay flat."""
+
+    def test_quantum_recognizer_flat_after_header(self):
+        k = 2
+        word = member(k, np.random.default_rng(0))
+        rec = QuantumOnlineRecognizer(rng=0)
+        _, trace = run_online_traced(rec, word, samples=32)
+        assert is_flat_after(trace, k + 2)
+
+    def test_classical_recognizer_flat_after_header(self):
+        k = 2
+        word = member(k, np.random.default_rng(0))
+        rec = BlockwiseClassicalRecognizer(rng=0)
+        _, trace = run_online_traced(rec, word, samples=32)
+        assert is_flat_after(trace, k + 2)
+
+    def test_flat_profile_peak_equals_final_space(self):
+        word = member(1, np.random.default_rng(0))
+        rec = QuantumOnlineRecognizer(rng=0)
+        result, trace = run_online_traced(rec, word, samples=16)
+        assert peak_of(trace) <= result.space.classical_bits

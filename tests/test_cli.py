@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("info", "recognize", "separation", "grover", "comm", "qfa"):
+            args = parser.parse_args([cmd])
+            assert args.command == cmd
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "SPAA 2006" in out and "L_DISJ" in out
+
+    def test_recognize_member(self, capsys):
+        assert main(["recognize", "--k", "1", "--kind", "member"]) == 0
+        out = capsys.readouterr().out
+        assert "quantum" in out and "accepted=True" in out
+        assert "in L_DISJ: True" in out
+
+    def test_recognize_intersecting(self, capsys):
+        assert main(["recognize", "--k", "1", "--kind", "intersecting", "--t", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "in L_DISJ: False" in out
+
+    def test_recognize_malformed_kind(self, capsys):
+        assert main(["recognize", "--k", "1", "--kind", "truncated"]) == 0
+        out = capsys.readouterr().out
+        assert "in L_DISJ: False" in out
+
+    def test_recognize_explicit_word(self, capsys):
+        word = "1#" + "1010#0101#1010#" * 2
+        assert main(["recognize", "--word", word]) == 0
+        out = capsys.readouterr().out
+        assert "in L_DISJ: True" in out
+
+    def test_separation(self, capsys):
+        assert main(["separation", "--k-max", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out and "qubits" in out
+
+    def test_grover(self, capsys):
+        assert main(["grover", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pr[detect]" in out and "yes" in out
+
+    def test_comm(self, capsys):
+        assert main(["comm", "--k-max", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "BCW" in out
+
+    def test_qfa(self, capsys):
+        assert main(["qfa", "--primes", "5", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "DFA states" in out

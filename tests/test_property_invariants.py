@@ -1,0 +1,156 @@
+"""Cross-module property-based tests of the library's core invariants.
+
+Each property here is an end-to-end law that must hold for *arbitrary*
+inputs, not just the curated instances — the kind of invariant a bug in
+any one layer (language, parser, operators, recognizers) would break.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.comm.disjointness import disj, intersection_size
+from repro.core import (
+    A1FormatCheck,
+    in_ldisj,
+    ldisj_word,
+    parse_ldisj,
+)
+from repro.core.language import parse_condition_i, string_length, word_length
+from repro.core.quantum_recognizer import (
+    exact_a3_detection_for_blocks,
+    exact_acceptance_probability,
+)
+from repro.mathx.angles import average_success_probability, grover_angle
+from repro.quantum import GroverA3
+from repro.streaming import run_online
+
+ks = st.integers(1, 2)
+seeds = st.integers(0, 2**32 - 1)
+
+
+def bits(n, seed):
+    rng = np.random.default_rng(seed)
+    return "".join(rng.choice(list("01"), n))
+
+
+class TestLanguageLaws:
+    @given(k=ks, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_membership_iff_disjoint(self, k, seed):
+        n = string_length(k)
+        x, y = bits(n, seed), bits(n, seed + 1)
+        word = ldisj_word(k, x, y)
+        assert in_ldisj(word) == (disj(x, y) == 1)
+        inst = parse_ldisj(word)
+        assert inst is not None and (inst.x, inst.y) == (x, y)
+
+    @given(k=ks, seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_word_length_formula(self, k, seed):
+        n = string_length(k)
+        word = ldisj_word(k, bits(n, seed), bits(n, seed + 1))
+        assert len(word) == word_length(k)
+
+    @given(k=ks, seed=seeds, pos=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_single_symbol_corruption_leaves_language(self, k, seed, pos):
+        """Flipping any bit of a member produces a non-member (the copies
+        make every data bit load-bearing)."""
+        n = string_length(k)
+        rng = np.random.default_rng(seed)
+        choice = rng.integers(0, 3, size=n)
+        x = "".join("1" if c == 1 else "0" for c in choice)
+        y = "".join("1" if c == 2 else "0" for c in choice)
+        word = ldisj_word(k, x, y)
+        pos = pos % len(word)
+        assume(word[pos] in "01")
+        corrupted = word[:pos] + ("0" if word[pos] == "1" else "1") + word[pos + 1 :]
+        # Either the strings now intersect (flip inside both-0 position of
+        # x AND the matching y? impossible for one flip to keep membership:
+        # copies disagree or DISJ flips or header breaks).
+        assert not in_ldisj(corrupted)
+
+    @given(k=ks, seed=seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_online_parser_agrees_with_reference(self, k, seed):
+        n = string_length(k)
+        word = ldisj_word(k, bits(n, seed), bits(n, seed + 1))
+        assert run_online(A1FormatCheck(), word).output == 1
+        # Truncations are caught by both.
+        cut = word[: len(word) - 1]
+        assert run_online(A1FormatCheck(), cut).output == 0
+        assert parse_condition_i(cut) is None
+
+
+class TestProbabilityLaws:
+    @given(k=st.just(1), seed=seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_acceptance_probability_in_bounds(self, k, seed):
+        n = string_length(k)
+        word = ldisj_word(k, bits(n, seed), bits(n, seed + 1))
+        p = exact_acceptance_probability(word)
+        assert 0.0 <= p <= 1.0
+        if in_ldisj(word):
+            assert p == pytest.approx(1.0)
+        else:
+            assert 1.0 - p >= 0.25 - 1e-9
+
+    @given(seed=seeds, j=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_a3_detection_equals_grover_formula(self, seed, j):
+        k = 1
+        n = string_length(k)
+        x, y = bits(n, seed), bits(n, seed + 1)
+        blocks = [x, y, x] * (1 << k)
+        p = exact_a3_detection_for_blocks(k, blocks, j % (1 << k))
+        t = intersection_size(x, y)
+        theta = grover_angle(t, n) if 0 < t < n else None
+        if t == 0:
+            assert p == pytest.approx(0.0, abs=1e-12)
+        elif t == n:
+            assert p == pytest.approx(1.0, abs=1e-12)
+        else:
+            assert p == pytest.approx(
+                math.sin((2 * (j % (1 << k)) + 1) * theta) ** 2, abs=1e-10
+            )
+
+    @given(k=st.integers(1, 4), t=st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_bbht_average_bounds(self, k, t):
+        n = 1 << (2 * k)
+        assume(t <= n)
+        p = average_success_probability(t, n, 1 << k)
+        assert 0.25 - 1e-12 <= p <= 1.0 + 1e-12
+
+    @given(seed=seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_grover_state_is_normalized_through_evolution(self, seed):
+        k = 2
+        n = string_length(k)
+        g = GroverA3(k, bits(n, seed), bits(n, seed + 1))
+        for j in range(3):
+            vec = g.state_after(j)
+            assert np.linalg.norm(vec) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestReductionLaw:
+    @given(xv=st.integers(0, 15), yv=st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_protocol_equals_machine_for_all_inputs(self, xv, yv):
+        from repro.comm import ReducedOneWayProtocol, simple_disj_schedule
+        from repro.machines import disjointness_machine
+        from repro.machines.distributions import acceptance_probability
+
+        m = 4
+        x = format(xv, f"0{m}b")
+        y = format(yv, f"0{m}b")
+        machine = disjointness_machine(m)
+        segments, final = simple_disj_schedule()
+        proto = ReducedOneWayProtocol(machine, segments, final)
+        assert proto.exact_run(x, y)["accept_probability"] == acceptance_probability(
+            machine, x + "#" + y
+        )

@@ -1,0 +1,74 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rngmod
+
+
+class TestEnsureRng:
+    def test_none_is_deterministic(self):
+        a = rngmod.ensure_rng(None).integers(0, 1 << 30, 8)
+        b = rngmod.ensure_rng(None).integers(0, 1 << 30, 8)
+        assert (a == b).all()
+
+    def test_int_seed(self):
+        a = rngmod.ensure_rng(7).random()
+        b = rngmod.ensure_rng(7).random()
+        assert a == b
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(3)
+        assert rngmod.ensure_rng(g) is g
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            rngmod.ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_children_independent(self):
+        parent = np.random.default_rng(1)
+        c1, c2 = rngmod.spawn(parent, 2)
+        assert c1.random() != c2.random()
+
+    def test_spawn_count(self):
+        assert len(rngmod.spawn(np.random.default_rng(0), 5)) == 5
+
+    def test_spawn_zero(self):
+        assert rngmod.spawn(np.random.default_rng(0), 0) == []
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            rngmod.spawn(np.random.default_rng(0), -1)
+
+    def test_repeated_spawn_differs(self):
+        parent = np.random.default_rng(1)
+        (a,) = rngmod.spawn(parent, 1)
+        (b,) = rngmod.spawn(parent, 1)
+        assert a.random() != b.random()
+
+
+class TestHelpers:
+    def test_coin_bounds(self):
+        g = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            rngmod.coin(g, 1.5)
+
+    def test_coin_extremes(self):
+        g = np.random.default_rng(0)
+        assert rngmod.coin(g, 1.0) is True
+        assert rngmod.coin(g, 0.0) is False
+
+    def test_random_bitstring_length_and_alphabet(self):
+        s = rngmod.random_bitstring(np.random.default_rng(0), 100)
+        assert len(s) == 100 and set(s) <= {"0", "1"}
+
+    def test_random_bitstring_bias(self):
+        s = rngmod.random_bitstring(np.random.default_rng(0), 2000, p_one=0.9)
+        assert s.count("1") > 1600
+
+    def test_optional_rng_offset_differs(self):
+        a = rngmod.optional_rng(None, 0).random()
+        b = rngmod.optional_rng(None, 1).random()
+        assert a != b
