@@ -75,6 +75,35 @@ def test_e1_space_profile(benchmark, record_table):
     benchmark(lambda: run_online(QuantumOnlineRecognizer(rng=1), word).accepted)
 
 
+def test_e1_sampled_matches_exact(record_table):
+    """Engine-sampled acceptance frequencies against the exact analysis.
+
+    The batched execution engine replays thousands of trials per word;
+    the empirical frequencies must sit on the exact state-vector /
+    root-count probabilities within binomial noise.
+    """
+    from repro.analysis import acceptance_sweep
+
+    trials = 2000
+    labelled = []
+    for k in (1, 2):
+        labelled.append((f"k={k} member", member(k, np.random.default_rng(k))))
+        labelled.append(
+            (f"k={k} intersect t=1", intersecting_nonmember(k, 1, np.random.default_rng(k)))
+        )
+    table = Table(
+        "E1 - engine-sampled vs exact acceptance probability",
+        ["input", "trials", "sampled", "exact", "|diff|", "ok"],
+    )
+    sampled = acceptance_sweep(labelled, trials, rng=2006, backend="batched")
+    for (label, word), (_, est) in zip(labelled, sampled):
+        exact = exact_acceptance_probability(word)
+        diff = abs(est.probability - exact)
+        table.add_row(label, trials, est.probability, exact, diff, diff < 0.05)
+    record_table(table, "e1_sampled_vs_exact")
+    assert all(row[-1] == "yes" for row in table.rows)
+
+
 @pytest.mark.parametrize("k", [1, 2, 3])
 def test_e1_streaming_pass_scaling(benchmark, k):
     """Wall-clock of one recognizer pass as the stream grows 8x per k."""

@@ -8,6 +8,10 @@ complex128 buffers, views over copies, no per-amplitude Python loops)
 are what these numbers reflect.
 """
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -93,3 +97,60 @@ def test_fingerprint_streaming_throughput(benchmark):
         return ev.value
 
     assert benchmark(stream) >= 0
+
+
+#: Where the engine throughput record lands (repo root, tracked per PR).
+ENGINE_RECORD = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def test_engine_backend_throughput():
+    """Words/sec and trials/sec per engine backend on an E5-style sweep.
+
+    A 1000-trial acceptance sweep at k = 2 over member / intersecting
+    words, run through every backend with the same seed.  Asserts the
+    seeding contract (identical counts) and the batched backend's >= 10x
+    speedup over sequential, then writes ``BENCH_engine.json`` so the
+    perf trajectory is tracked across PRs.
+    """
+    from repro.core import intersecting_nonmember, member
+    from repro.engine import ExecutionEngine, available_backends
+
+    trials = 1000
+    words = [
+        member(2, np.random.default_rng(0)),
+        member(2, np.random.default_rng(1)),
+        intersecting_nonmember(2, 1, np.random.default_rng(2)),
+        intersecting_nonmember(2, 4, np.random.default_rng(3)),
+    ]
+    record = {
+        "experiment": "engine acceptance sweep",
+        "k": 2,
+        "trials": trials,
+        "words": len(words),
+        "backends": {},
+    }
+    counts = {}
+    for name in available_backends():
+        engine = ExecutionEngine(name)
+        start = time.perf_counter()
+        estimates = engine.run_many(words, trials, rng=2006)
+        elapsed = time.perf_counter() - start
+        counts[name] = [est.accepted for est in estimates]
+        record["backends"][name] = {
+            "seconds": round(elapsed, 4),
+            "words_per_second": round(len(words) / elapsed, 2),
+            "trials_per_second": round(len(words) * trials / elapsed, 1),
+            "accepted": counts[name],
+        }
+
+    # The seeding contract: backend choice never changes the statistics.
+    for name, accepted in counts.items():
+        assert accepted == counts["sequential"], name
+
+    speedup = (
+        record["backends"]["sequential"]["seconds"]
+        / record["backends"]["batched"]["seconds"]
+    )
+    record["batched_speedup_over_sequential"] = round(speedup, 1)
+    ENGINE_RECORD.write_text(json.dumps(record, indent=2) + "\n")
+    assert speedup >= 10.0, f"batched speedup only {speedup:.1f}x"

@@ -23,7 +23,7 @@ from .bounds import (
     growth_ratio,
 )
 from .report import Table
-from .sweep import sweep
+from .sweep import sweep, acceptance_sweep
 
 __all__ = [
     "fact_2_2_bound",
@@ -37,4 +37,5 @@ __all__ = [
     "growth_ratio",
     "Table",
     "sweep",
+    "acceptance_sweep",
 ]

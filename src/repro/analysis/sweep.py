@@ -1,7 +1,10 @@
 """A tiny parameter-sweep harness.
 
 Benchmarks sweep k, t, r, block sizes...; this helper keeps the loops
-uniform and the results keyed, nothing more.
+uniform and the results keyed.  Acceptance sweeps — the sampled kind
+that dominated wall-clock before the engine existed — go through
+:func:`acceptance_sweep`, which hands the trial loop to a pluggable
+:mod:`repro.engine` backend.
 """
 
 from __future__ import annotations
@@ -33,3 +36,24 @@ def sweep(
 
     rec(0, {})
     return results
+
+
+def acceptance_sweep(
+    labelled_words: Iterable[Tuple[Any, str]],
+    trials: int,
+    rng: Any = None,
+    backend: Any = "batched",
+) -> List[Tuple[Any, Any]]:
+    """Sampled acceptance probability for each ``(label, word)`` pair.
+
+    Runs every word through one :class:`repro.engine.ExecutionEngine`
+    (so per-word seeds spawn in a backend-independent order) and returns
+    ``[(label, AcceptanceEstimate), ...]`` in input order.
+    """
+    from ..engine import ExecutionEngine
+
+    pairs = list(labelled_words)
+    estimates = ExecutionEngine(backend).run_many(
+        [word for _, word in pairs], trials, rng=rng
+    )
+    return [(label, est) for (label, _), est in zip(pairs, estimates)]

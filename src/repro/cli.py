@@ -5,6 +5,8 @@ Commands
 * ``info``        — library, paper and model summary.
 * ``recognize``   — stream a word (or a generated instance) through the
   quantum and classical recognizers and report decisions + space.
+* ``sample``      — estimate acceptance probabilities by repeated
+  trials through the execution engine (pluggable backend).
 * ``separation``  — print the headline E5 table for a k-range.
 * ``grover``      — the BBHT success-probability table for one k.
 * ``comm``        — quantum vs classical communication costs for DISJ.
@@ -45,22 +47,11 @@ def _cmd_recognize(args: argparse.Namespace) -> int:
         QuantumOnlineRecognizer,
         BlockwiseClassicalRecognizer,
         in_ldisj,
-        intersecting_nonmember,
-        malformed_nonmember,
-        member,
     )
     from .core.quantum_recognizer import exact_acceptance_probability
     from .streaming import run_online
 
-    if args.word:
-        word = args.word
-    elif args.kind == "member":
-        word = member(args.k, np.random.default_rng(args.seed))
-    elif args.kind == "intersecting":
-        word = intersecting_nonmember(args.k, args.t, np.random.default_rng(args.seed))
-    else:
-        word = malformed_nonmember(args.k, args.kind, np.random.default_rng(args.seed))
-
+    word = _make_word(args)
     print(f"|w| = {len(word)}; in L_DISJ: {in_ldisj(word)}")
     q = run_online(QuantumOnlineRecognizer(rng=args.seed), word)
     print(
@@ -73,6 +64,51 @@ def _cmd_recognize(args: argparse.Namespace) -> int:
         print(f"           exact analysis unavailable: {exc}")
     c = run_online(BlockwiseClassicalRecognizer(rng=args.seed), word)
     print(f"classical: accepted={c.accepted}  {c.space.classical_bits} bits")
+    return 0
+
+
+def _add_word_args(parser: argparse.ArgumentParser) -> None:
+    """The word-generation options shared by ``recognize`` and ``sample``
+    (consumed by :func:`_make_word`; ``--seed`` also seeds the trials)."""
+    parser.add_argument("--word", help="explicit word over {0,1,#}")
+    parser.add_argument("--k", type=int, default=2)
+    parser.add_argument("--t", type=int, default=2, help="intersection size")
+    parser.add_argument(
+        "--kind",
+        default="member",
+        help="member | intersecting | one of the malformed kinds",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _make_word(args: argparse.Namespace) -> str:
+    from .core import intersecting_nonmember, malformed_nonmember, member
+
+    if getattr(args, "word", None):
+        return args.word
+    if args.kind == "member":
+        return member(args.k, np.random.default_rng(args.seed))
+    if args.kind == "intersecting":
+        return intersecting_nonmember(args.k, args.t, np.random.default_rng(args.seed))
+    return malformed_nonmember(args.k, args.kind, np.random.default_rng(args.seed))
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    from .engine import ExecutionEngine
+    from .core import in_ldisj
+
+    if args.trials <= 0:
+        print("sample: --trials must be positive", file=sys.stderr)
+        return 2
+    word = _make_word(args)
+    engine = ExecutionEngine(args.backend)
+    est = engine.estimate_acceptance(word, args.trials, rng=args.seed)
+    print(f"|w| = {len(word)}; in L_DISJ: {in_ldisj(word)}")
+    print(
+        f"backend={est.backend}  trials={est.trials}  "
+        f"accepted={est.accepted}  Pr[accept] ~= {est.probability:.4f}"
+    )
+    print(f"throughput: {est.trials_per_second:,.0f} trials/s ({est.elapsed_s:.3f} s)")
     return 0
 
 
@@ -157,16 +193,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     rec = sub.add_parser("recognize", help="run the recognizers on a word")
-    rec.add_argument("--word", help="explicit word over {0,1,#}")
-    rec.add_argument("--k", type=int, default=2)
-    rec.add_argument("--t", type=int, default=2, help="intersection size")
-    rec.add_argument(
-        "--kind",
-        default="member",
-        help="member | intersecting | one of the malformed kinds",
-    )
-    rec.add_argument("--seed", type=int, default=0)
+    _add_word_args(rec)
     rec.set_defaults(func=_cmd_recognize)
+
+    samp = sub.add_parser(
+        "sample", help="sampled acceptance probability via the execution engine"
+    )
+    _add_word_args(samp)
+    samp.add_argument("--trials", type=int, default=1000)
+    samp.add_argument(
+        "--backend",
+        default="batched",
+        choices=["sequential", "batched", "multiprocess"],
+        help="execution backend",
+    )
+    samp.set_defaults(func=_cmd_sample)
 
     sep = sub.add_parser("separation", help="the headline space table")
     sep.add_argument("--k-min", type=int, default=1)

@@ -24,9 +24,58 @@ one of them metered.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..mathx.primes import fingerprint_prime
 from ..streaming.algorithm import OnlineAlgorithm
 from .structure import BlockStreamParser, block_type
+
+
+def block_fingerprints_at(block: str, p: int, ts: np.ndarray) -> np.ndarray:
+    """``F_B(t) = sum_i B_i t^i mod p`` at every point of *ts* at once.
+
+    One modular-Horner sweep over the block's bits, vectorized across
+    the evaluation points — the batched counterpart of the streaming
+    accumulator in :class:`A2FingerprintCheck` (identical integers).
+    """
+    bits = np.frombuffer(block.encode("ascii"), dtype=np.uint8) - ord("0")
+    acc = np.zeros(ts.shape, dtype=np.int64)
+    for bit in bits[::-1]:
+        acc = (acc * ts + int(bit)) % p
+    return acc
+
+
+def a2_passes_at_points(k: int, blocks: list[str], ts) -> np.ndarray:
+    """A2's output (as a boolean array) at each evaluation point in *ts*.
+
+    Replays the chained same-type fingerprint comparison for every point
+    simultaneously: entry ``i`` is True exactly when a sequential
+    :class:`A2FingerprintCheck` run with ``t = ts[i]`` would output 1 on
+    a condition-(i) word with these *blocks*.  Fingerprints are computed
+    once per distinct block string (members have only two), so the whole
+    test is a handful of Horner sweeps regardless of the repetition
+    count.
+    """
+    p = fingerprint_prime(k)
+    if p >= 1 << 31:
+        raise ValueError(
+            f"batched A2 sweep needs p^2 < 2^63 (k = {k} gives p = {p})"
+        )
+    ts = np.asarray(ts, dtype=np.int64)
+    if np.any((ts < 0) | (ts >= p)):
+        raise ValueError("evaluation points must lie in [0, p)")
+    ok = np.ones(ts.shape, dtype=bool)
+    cache: dict[str, np.ndarray] = {}
+    prev = {"x": None, "y": None}
+    for b, s in enumerate(blocks):
+        fp = cache.get(s)
+        if fp is None:
+            fp = cache[s] = block_fingerprints_at(s, p, ts)
+        typ = "y" if block_type(b) == "y" else "x"
+        if prev[typ] is not None:
+            ok &= fp == prev[typ]
+        prev[typ] = fp
+    return ok
 
 
 class A2FingerprintCheck(OnlineAlgorithm):

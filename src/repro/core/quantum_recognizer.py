@@ -33,10 +33,12 @@ from ..quantum.operators import (
     initial_phi,
 )
 from ..quantum.registers import A3Registers
+from ..quantum.state import BatchedStateVector, StateVector
+from ..rng import ensure_rng, spawn, spawn_seeds
 from ..streaming.combinators import ParallelComposition
 from ..mathx.primes import fingerprint_prime
 from .a1_format import A1FormatCheck
-from .a2_fingerprint import A2FingerprintCheck
+from .a2_fingerprint import A2FingerprintCheck, a2_passes_at_points
 from .a3_grover import A3GroverProcedure
 from .language import parse_condition_i
 
@@ -51,8 +53,6 @@ class QuantumOnlineRecognizer(ParallelComposition):
     """
 
     def __init__(self, rng=None, forced_j: Optional[int] = None) -> None:
-        from ..rng import ensure_rng, spawn
-
         parent = ensure_rng(rng)
         r1, r2 = spawn(parent, 2)
         self.a1 = A1FormatCheck()
@@ -101,24 +101,26 @@ def exact_a3_detection_for_blocks(k: int, blocks: list[str], j: int) -> float:
 
 
 def exact_a3_output_one_probability(word: str) -> float:
-    """Exact Pr[A3 outputs 1] on a condition-(i) word (averaged over j)."""
+    """Exact Pr[A3 outputs 1] on a condition-(i) word (averaged over j).
+
+    All 2^k iteration counts evolve as one state batch (bit-identical
+    to, and much faster than, 2^k calls to
+    :func:`exact_a3_detection_for_blocks`).
+    """
     parsed = parse_condition_i(word)
     if parsed is None:
         raise ValueError("word does not satisfy condition (i)")
     k, blocks = parsed
-    m = 1 << k
-    p_detect = float(
-        np.mean([exact_a3_detection_for_blocks(k, blocks, j) for j in range(m)])
-    )
-    return 1.0 - p_detect
+    js = np.arange(1 << k, dtype=np.int64)
+    return 1.0 - float(np.mean(batched_a3_detection(k, blocks, js)))
 
 
 def exact_a2_pass_probability(word: str, max_k: int = 3) -> float:
     """Exact Pr_t[A2 outputs 1] on a condition-(i) word.
 
-    Enumerates every evaluation point t in F_p (vectorized), so it is
-    limited to small k (p < 2^{4k+1}; the default cap k <= 3 keeps the
-    enumeration under ~10^7 modular operations).
+    Enumerates every evaluation point t in F_p (one batched Horner
+    sweep), so it is limited to small k (p < 2^{4k+1}; the default cap
+    k <= 3 keeps the enumeration under ~10^7 modular operations).
     """
     parsed = parse_condition_i(word)
     if parsed is None:
@@ -127,19 +129,107 @@ def exact_a2_pass_probability(word: str, max_k: int = 3) -> float:
     if k > max_k:
         raise ValueError(f"exact A2 enumeration capped at k <= {max_k}")
     p = fingerprint_prime(k)
-    ts = np.arange(p, dtype=np.int64)
-    ok = np.ones(p, dtype=bool)
-    prev = {"x": None, "y": None}
-    for b, s in enumerate(blocks):
-        # Fingerprint of this block at every t simultaneously (Horner).
-        acc = np.zeros(p, dtype=np.int64)
-        for ch in reversed(s):
-            acc = (acc * ts + (1 if ch == "1" else 0)) % p
-        typ = "y" if b % 3 == 1 else "x"
-        if prev[typ] is not None:
-            ok &= acc == prev[typ]
-        prev[typ] = acc
+    ok = a2_passes_at_points(k, blocks, np.arange(p, dtype=np.int64))
     return float(np.count_nonzero(ok)) / p
+
+
+# ---------------------------------------------------------------------------
+# Batched trial execution (the engine's dense backend)
+# ---------------------------------------------------------------------------
+
+
+def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
+    """Exact Pr[b = 1] of A3's final measurement for each j in *js*.
+
+    The batched counterpart of :func:`exact_a3_detection_for_blocks`:
+    one ``(J, 2^{2k+2})`` state batch is evolved through the block
+    sequence via the operators' leading batch axis, with per-row masks
+    selecting which trajectories a block still drives (row ``i`` is live
+    through round ``js[i]``).  Operators are built once per distinct
+    block string.  Row ``i`` undergoes float-for-float the same
+    operation sequence as a sequential run with ``j = js[i]``, so the
+    returned probabilities are bit-identical to the per-trial path.
+    """
+    regs = A3Registers(k)
+    js = np.asarray(js, dtype=np.int64)
+    if js.ndim != 1 or js.size == 0:
+        raise ValueError("js must be a non-empty 1-D array")
+    if np.any((js < 0) | (js >= (1 << k))):
+        raise ValueError(f"every j must lie in [0, 2^{k})")
+    states = BatchedStateVector.broadcast(
+        StateVector(initial_phi(regs), check=False), js.size
+    )
+    batch = states.amplitudes
+    uk = UkOperator(regs)
+    sk = SkOperator(regs)
+    vx: dict[str, VxOperator] = {}
+    wx: dict[str, WxOperator] = {}
+    rx: dict[str, RxOperator] = {}
+
+    def masked(mask: np.ndarray, *ops) -> None:
+        if not mask.any():
+            return
+        sub = batch[mask]
+        for op in ops:
+            sub = op.apply(sub)
+        batch[mask] = sub
+
+    for b, s in enumerate(blocks):
+        r, typ = b // 3, b % 3
+        running = js > r    # rows still inside full Grover iterations
+        closing = js == r   # rows in repetition j + 1 (the V/R finish)
+        if typ == 0:
+            # x block: V_x for running and closing rows alike.
+            op = vx.get(s) or vx.setdefault(s, VxOperator(regs, s))
+            masked(running | closing, op)
+        elif typ == 1:
+            # y block: W_y while iterating, R_y at the finish.
+            masked(running, wx.get(s) or wx.setdefault(s, WxOperator(regs, s)))
+            masked(closing, rx.get(s) or rx.setdefault(s, RxOperator(regs, s)))
+        else:
+            # z block: V_z then the diffusion closes a full iteration.
+            masked(running, vx.get(s) or vx.setdefault(s, VxOperator(regs, s)), uk, sk, uk)
+    # Exact Pr[l = 1] per row; the l qubit is "the last qubit" of step 5.
+    return np.array([marked_probability(batch[i], regs) for i in range(js.size)])
+
+
+def sample_acceptance_batch(word: str, trials: int, rng=None) -> np.ndarray:
+    """Per-trial accept decisions of the recognizer, computed batched.
+
+    Draw-for-draw equivalent to ``trials`` sequential runs of
+    :class:`QuantumOnlineRecognizer` driven by
+    :func:`repro.streaming.acceptance_probability_by_sampling` with the
+    same seed: the same child generators are spawned and consulted in
+    the same order (A2's t, A3's j, A3's measurement coin), A2 is
+    evaluated for all trials in one Horner sweep, and A3's detection
+    probabilities are evolved once per *distinct* j as a state batch.
+    Returns a boolean array of length *trials*.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    parent = ensure_rng(rng)
+    seeds = spawn_seeds(parent, trials)
+    parsed = parse_condition_i(word)
+    if parsed is None:
+        # A1 rejects deterministically; no per-trial randomness can
+        # change the (all-False) outcome.
+        return np.zeros(trials, dtype=bool)
+    k, blocks = parsed
+    p = fingerprint_prime(k)
+    m = 1 << k
+    ts = np.empty(trials, dtype=np.int64)
+    js = np.empty(trials, dtype=np.int64)
+    coins = np.empty(trials, dtype=np.float64)
+    for i, seed in enumerate(seeds):
+        r1, r2 = spawn(np.random.default_rng(seed), 2)
+        ts[i] = r1.integers(0, p)
+        js[i] = r2.integers(0, m)
+        coins[i] = r2.random()
+    a2_ok = a2_passes_at_points(k, blocks, ts)
+    unique_js, inverse = np.unique(js, return_inverse=True)
+    detection = batched_a3_detection(k, blocks, unique_js)[inverse]
+    a3_ok = ~(coins < detection)  # b = 1 (intersection seen) rejects
+    return a2_ok & a3_ok
 
 
 def exact_acceptance_probability(word: str, max_k_for_a2: int = 3) -> float:

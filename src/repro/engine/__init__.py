@@ -1,0 +1,36 @@
+"""Batched execution engine for acceptance-probability experiments.
+
+See :mod:`repro.engine.api` for the contract.  Importing this package
+registers the three stock backends:
+
+* ``sequential`` — per-trial streaming passes (reference semantics);
+* ``batched``    — ``(B, 2^n)`` state batches + one Horner sweep;
+* ``multiprocess`` — word-level fan-out over a process pool.
+
+The seeding contract makes backends interchangeable: same seed, same
+acceptance counts — switching backend is purely a throughput decision.
+"""
+
+from .api import (
+    AcceptanceEstimate,
+    ExecutionBackend,
+    ExecutionEngine,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .sequential import SequentialBackend
+from .batched import BatchedDenseBackend
+from .multiprocess import MultiprocessBackend
+
+__all__ = [
+    "AcceptanceEstimate",
+    "ExecutionBackend",
+    "ExecutionEngine",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "SequentialBackend",
+    "BatchedDenseBackend",
+    "MultiprocessBackend",
+]

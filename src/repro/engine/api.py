@@ -1,0 +1,203 @@
+"""The batched execution engine: one API, pluggable trial backends.
+
+The experiments' hot path is always the same shape — estimate the
+recognizer's acceptance probability on each word of a list by running
+many independent randomized trials.  The engine owns that loop and lets
+the *how* vary per backend:
+
+* ``sequential`` — one streaming pass per trial, exactly today's
+  per-trial semantics (:mod:`repro.engine.sequential`);
+* ``batched`` — all trials of a word advance together as ``(B, 2^n)``
+  state batches and one modular-Horner sweep
+  (:mod:`repro.engine.batched`);
+* ``multiprocess`` — the word list fans out over a process pool, each
+  worker running one of the in-process backends
+  (:mod:`repro.engine.multiprocess`).
+
+Seeding is part of the API contract: ``run_many`` derives one child
+seed per word with :func:`repro.rng.spawn_seeds`, in word order, and
+every backend replicates the per-trial draw order of the sequential
+path — so for a fixed seed all backends return *identical* acceptance
+counts, and the batched/multiprocess backends are pure speedups.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from ..rng import ensure_rng, spawn_seeds
+
+
+@dataclass(frozen=True)
+class AcceptanceEstimate:
+    """Result of sampling one word's acceptance probability.
+
+    ``elapsed_s`` is wall-clock time attributed to this word: the
+    measured time for a single :meth:`ExecutionEngine.estimate_acceptance`
+    call, or the batch total amortized evenly across words for
+    :meth:`ExecutionEngine.run_many` (so summing ``elapsed_s`` over a
+    sweep recovers its wall-clock, including under the multiprocess
+    backend, where per-word time is not individually observable).
+    """
+
+    word_length: int
+    trials: int
+    accepted: int
+    backend: str
+    elapsed_s: float = 0.0
+
+    @property
+    def probability(self) -> float:
+        """Empirical acceptance frequency."""
+        return self.accepted / self.trials
+
+    @property
+    def trials_per_second(self) -> float:
+        return self.trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+
+
+class ExecutionBackend(ABC):
+    """One strategy for running the trials of an acceptance experiment.
+
+    Subclasses implement :meth:`count_accepted` (one word, many trials)
+    and may override :meth:`count_accepted_many` when they can do better
+    than a word loop (the multiprocess backend fans it out).
+    """
+
+    #: Registry key; subclasses set it and register via register_backend.
+    name: str = "abstract"
+
+    @abstractmethod
+    def count_accepted(
+        self,
+        word: str,
+        trials: int,
+        rng: np.random.Generator,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> int:
+        """Number of accepting trials among *trials* runs on *word*.
+
+        *factory* (child generator -> algorithm) overrides the default
+        Theorem 3.4 recognizer; backends that vectorize the recognizer
+        itself reject custom factories.
+        """
+
+    def count_accepted_many(
+        self,
+        words: Sequence[str],
+        trials: int,
+        rng: np.random.Generator,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> List[int]:
+        """Accepted counts per word; one spawned child seed per word."""
+        seeds = spawn_seeds(rng, len(words))
+        return [
+            self.count_accepted(word, trials, np.random.default_rng(seed), factory)
+            for word, seed in zip(words, seeds)
+        ]
+
+
+_BACKENDS: Dict[str, Type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Class decorator adding a backend to the ``get_backend`` registry."""
+    if cls.name in _BACKENDS:
+        raise ValueError(f"backend {cls.name!r} registered twice")
+    _BACKENDS[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, stable order."""
+    return sorted(_BACKENDS)
+
+
+BackendSpec = Union[str, ExecutionBackend]
+
+
+def get_backend(spec: BackendSpec = "batched", **options: Any) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(spec, ExecutionBackend):
+        if options:
+            raise ValueError("options only apply when resolving by name")
+        return spec
+    try:
+        cls = _BACKENDS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; available: {', '.join(available_backends())}"
+        ) from None
+    return cls(**options)
+
+
+class ExecutionEngine:
+    """Front door: estimate acceptance probabilities through a backend.
+
+    >>> engine = ExecutionEngine("batched")
+    >>> est = engine.estimate_acceptance(word, trials=1000, rng=7)
+    >>> est.probability
+    """
+
+    def __init__(self, backend: BackendSpec = "batched", **options: Any) -> None:
+        self.backend = get_backend(backend, **options)
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    def estimate_acceptance(
+        self,
+        word: str,
+        trials: int,
+        rng=None,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> AcceptanceEstimate:
+        """Sample *trials* independent runs on one word."""
+        import time
+
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        gen = ensure_rng(rng)
+        start = time.perf_counter()
+        accepted = self.backend.count_accepted(word, trials, gen, factory)
+        elapsed = time.perf_counter() - start
+        return AcceptanceEstimate(
+            word_length=len(word),
+            trials=trials,
+            accepted=accepted,
+            backend=self.backend.name,
+            elapsed_s=elapsed,
+        )
+
+    def run_many(
+        self,
+        words: Sequence[str],
+        trials: int,
+        rng=None,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> List[AcceptanceEstimate]:
+        """Sample every word of a list; per-word seeds spawn in order."""
+        import time
+
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        gen = ensure_rng(rng)
+        start = time.perf_counter()
+        counts = self.backend.count_accepted_many(words, trials, gen, factory)
+        elapsed = time.perf_counter() - start
+        per_word = elapsed / len(words) if words else 0.0
+        return [
+            AcceptanceEstimate(
+                word_length=len(word),
+                trials=trials,
+                accepted=count,
+                backend=self.backend.name,
+                elapsed_s=per_word,
+            )
+            for word, count in zip(words, counts)
+        ]

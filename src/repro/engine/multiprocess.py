@@ -1,0 +1,84 @@
+"""The multiprocess backend: fan a word list out over a process pool.
+
+Each worker runs one of the in-process backends (batched by default) on
+its word.  Workers receive integer seeds — the exact seeds
+:func:`repro.rng.spawn_seeds` hands the in-process backends — so the
+counts are identical to a serial ``run_many`` with the same parent
+seed, whatever the pool's scheduling order.
+
+``processes <= 1`` degrades gracefully to inline execution (useful in
+sandboxes where forking is restricted, and as the single-word
+``count_accepted`` path, which has nothing to fan out).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..rng import spawn_seeds
+from .api import ExecutionBackend, get_backend, register_backend
+
+
+def _count_one(args: tuple) -> int:
+    """Pool worker: rebuild the inner backend and run one word."""
+    word, trials, seed, inner_name = args
+    backend = get_backend(inner_name)
+    return backend.count_accepted(word, trials, np.random.default_rng(seed))
+
+
+@register_backend
+class MultiprocessBackend(ExecutionBackend):
+    """Word-level parallelism over ``concurrent.futures`` workers."""
+
+    name = "multiprocess"
+
+    def __init__(self, inner: str = "batched", processes: Optional[int] = None) -> None:
+        if inner == self.name:
+            raise ValueError("multiprocess cannot nest itself")
+        self.inner = inner
+        self.processes = processes
+        self._inner_backend = get_backend(inner)
+
+    def count_accepted(
+        self,
+        word: str,
+        trials: int,
+        rng: np.random.Generator,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> int:
+        # One word has nothing to fan out; run the inner backend inline.
+        if factory is not None:
+            raise ValueError("the multiprocess backend ships seeds, not closures")
+        return self._inner_backend.count_accepted(word, trials, rng)
+
+    def count_accepted_many(
+        self,
+        words: Sequence[str],
+        trials: int,
+        rng: np.random.Generator,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> List[int]:
+        if factory is not None:
+            raise ValueError("the multiprocess backend ships seeds, not closures")
+        seeds = spawn_seeds(rng, len(words))
+        jobs = [
+            (word, trials, seed, self.inner) for word, seed in zip(words, seeds)
+        ]
+        workers = self.processes
+        if workers is None:
+            import os
+
+            workers = min(len(jobs), os.cpu_count() or 1)
+        if workers <= 1 or len(jobs) <= 1:
+            return [_count_one(job) for job in jobs]
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_count_one, jobs))
+        except (OSError, PermissionError):
+            # Restricted environments (no fork/semaphores): run inline —
+            # same counts, no parallelism.
+            return [_count_one(job) for job in jobs]

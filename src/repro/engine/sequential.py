@@ -1,0 +1,47 @@
+"""The reference backend: one streaming pass per trial.
+
+This is exactly the semantics the library has always had — spawn one
+child generator per trial, build a fresh recognizer from it, stream the
+word through symbol by symbol — packaged behind the engine API so the
+vectorized backends have a ground truth to be measured (and tested)
+against.  It is also the only backend that accepts an arbitrary
+algorithm *factory*, since it never looks inside the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..rng import spawn
+from .api import ExecutionBackend, register_backend
+
+
+def _default_factory(child: np.random.Generator):
+    from ..core.quantum_recognizer import QuantumOnlineRecognizer
+
+    return QuantumOnlineRecognizer(rng=child)
+
+
+@register_backend
+class SequentialBackend(ExecutionBackend):
+    """Per-trial scalar simulation (the pre-engine semantics)."""
+
+    name = "sequential"
+
+    def count_accepted(
+        self,
+        word: str,
+        trials: int,
+        rng: np.random.Generator,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+    ) -> int:
+        from ..streaming.runner import run_online
+
+        build = factory if factory is not None else _default_factory
+        accepted = 0
+        for child in spawn(rng, trials):
+            if run_online(build(child), word).accepted:
+                accepted += 1
+        return accepted

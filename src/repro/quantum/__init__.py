@@ -25,7 +25,14 @@ end to end:
   Definition 2.3 machine can actually be produced and checked.
 """
 
-from .state import StateVector, zero_state, basis_state
+from .state import (
+    StateVector,
+    BatchedStateVector,
+    zero_state,
+    basis_state,
+    basis_indices,
+    bit_where,
+)
 from .gates import H, T, T_DAGGER, X, Y, Z, S, CNOT_MATRIX, apply_single, apply_two
 from .circuit import Circuit, GateOp, GATE_NAMES
 from .encoding import encode_circuit, decode_circuit
@@ -50,6 +57,9 @@ from .optimize import optimize_circuit, optimization_report
 
 __all__ = [
     "StateVector",
+    "BatchedStateVector",
+    "basis_indices",
+    "bit_where",
     "zero_state",
     "basis_state",
     "H",

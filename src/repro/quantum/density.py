@@ -31,6 +31,7 @@ import numpy as np
 from ..errors import QuantumError
 from .grover import GroverA3
 from .registers import A3Registers
+from .state import bit_where
 
 VectorFn = Callable[[np.ndarray], np.ndarray]
 
@@ -100,8 +101,10 @@ class DensityMatrix:
     def probability_of_bit(self, qubit: int, value: int) -> float:
         if not 0 <= qubit < self.n_qubits:
             raise QuantumError(f"qubit {qubit} out of range")
-        idx = np.arange(self.rho.shape[0])
-        mask = ((idx >> qubit) & 1) == value
+        if value not in (0, 1):
+            raise QuantumError("measurement value must be 0 or 1")
+        ones = bit_where(self.rho.shape[0], qubit)
+        mask = ones if value == 1 else ~ones
         return float(np.sum(self.rho.diagonal().real[mask]))
 
     def purity(self) -> float:

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import QuantumError
+from .state import basis_indices, bit_where
 
 _SQRT2_INV = 1.0 / np.sqrt(2.0)
 
@@ -102,8 +103,8 @@ def apply_cnot(vec: np.ndarray, n_qubits: int, control: int, target: int) -> np.
     _check_qubit(n_qubits, target)
     if control == target:
         raise QuantumError("CNOT needs distinct control and target")
-    idx = np.arange(vec.size)
-    flip = ((idx >> control) & 1) == 1
+    idx = basis_indices(vec.size)
+    flip = bit_where(vec.size, control)
     perm = np.where(flip, idx ^ (1 << target), idx)
     return vec[perm]
 

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from ..errors import QuantumError
+from .state import bit_where
 from .operators import (
     RxOperator,
     SkOperator,
@@ -30,8 +31,7 @@ def marked_probability(vec: np.ndarray, regs: A3Registers) -> float:
     """Exact probability that measuring the l qubit yields 1."""
     if vec.size != regs.dimension:
         raise QuantumError("state has the wrong dimension")
-    idx = np.arange(vec.size)
-    mask = (idx & regs.l_bit) != 0
+    mask = bit_where(regs.dimension, regs.l_qubit)
     return float(np.sum(np.abs(vec[mask]) ** 2))
 
 

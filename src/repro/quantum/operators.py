@@ -16,6 +16,11 @@ permutations/signs are precomputed as index arrays at construction
 multiply, and ``U_k`` is a fast Walsh-Hadamard transform — no Python
 loops over amplitudes anywhere.
 
+Every operator accepts either a single state of shape ``(dim,)`` or a
+batch of shape ``(B, dim)`` (the execution engine's dense backend): the
+permutation / sign tables broadcast over the leading batch axis, so one
+call advances all B trials.
+
 Operators also expose ``unitary()`` (dense matrix, small k) for the
 compiler's exactness tests.
 """
@@ -28,6 +33,7 @@ from ..alphabet import validate_bitstring
 from ..errors import QuantumError
 from .gates import walsh_hadamard_in_place
 from .registers import A3Registers
+from .state import basis_indices, bit_where
 
 
 def initial_phi(regs: A3Registers) -> np.ndarray:
@@ -45,7 +51,7 @@ def _bit_table(regs: A3Registers, x: str) -> np.ndarray:
             f"string length {len(x)} != N = {regs.string_length} for k = {regs.k}"
         )
     bits = np.frombuffer(x.encode("ascii"), dtype=np.uint8) - ord("0")
-    idx = np.arange(regs.dimension)
+    idx = basis_indices(regs.dimension)
     return bits[idx & regs.index_mask].astype(np.int64)
 
 
@@ -61,10 +67,10 @@ class _BaseOperator:
         raise NotImplementedError
 
     def _check(self, vec: np.ndarray) -> None:
-        if vec.size != self.regs.dimension:
+        if vec.ndim not in (1, 2) or vec.shape[-1] != self.regs.dimension:
             raise QuantumError(
-                f"{self.name}: state has {vec.size} amplitudes, "
-                f"expected {self.regs.dimension}"
+                f"{self.name}: state has shape {vec.shape}, expected "
+                f"({self.regs.dimension},) or (B, {self.regs.dimension})"
             )
 
     def unitary(self) -> np.ndarray:
@@ -86,7 +92,7 @@ class SkOperator(_BaseOperator):
 
     def __init__(self, regs: A3Registers) -> None:
         super().__init__(regs)
-        idx = np.arange(regs.dimension)
+        idx = basis_indices(regs.dimension)
         self._signs = np.where((idx & regs.index_mask) != 0, -1.0, 1.0)
 
     def apply(self, vec: np.ndarray) -> np.ndarray:
@@ -104,12 +110,12 @@ class VxOperator(_BaseOperator):
         super().__init__(regs)
         self.x = x
         xi = _bit_table(regs, x)
-        idx = np.arange(regs.dimension)
+        idx = basis_indices(regs.dimension)
         self._perm = idx ^ (xi << regs.h_qubit)
 
     def apply(self, vec: np.ndarray) -> np.ndarray:
         self._check(vec)
-        return vec[self._perm]
+        return vec[..., self._perm]
 
 
 class WxOperator(_BaseOperator):
@@ -121,8 +127,7 @@ class WxOperator(_BaseOperator):
         super().__init__(regs)
         self.x = x
         xi = _bit_table(regs, x)
-        idx = np.arange(regs.dimension)
-        h = (idx >> regs.h_qubit) & 1
+        h = bit_where(regs.dimension, regs.h_qubit).astype(np.int64)
         self._signs = np.where((h & xi) == 1, -1.0, 1.0)
 
     def apply(self, vec: np.ndarray) -> np.ndarray:
@@ -135,14 +140,15 @@ class UkOperator(_BaseOperator):
     """H on each of the 2k index qubits; identity on h and l.
 
     Implemented as a Walsh-Hadamard transform over the index axis: the
-    state reshapes (as a view) to (4, N) with rows indexed by (l, h).
+    state reshapes (as a view) to (..., 4, N) with the middle axis
+    indexed by (l, h) — a leading batch axis passes through untouched.
     """
 
     name = "U_k"
 
     def apply(self, vec: np.ndarray) -> np.ndarray:
         self._check(vec)
-        block = vec.reshape(4, self.regs.string_length)
+        block = vec.reshape(vec.shape[:-1] + (4, self.regs.string_length))
         walsh_hadamard_in_place(block)
         return vec
 
@@ -156,13 +162,13 @@ class RxOperator(_BaseOperator):
         super().__init__(regs)
         self.x = x
         xi = _bit_table(regs, x)
-        idx = np.arange(regs.dimension)
-        h = (idx >> regs.h_qubit) & 1
+        idx = basis_indices(regs.dimension)
+        h = bit_where(regs.dimension, regs.h_qubit).astype(np.int64)
         self._perm = idx ^ ((h & xi) << regs.l_qubit)
 
     def apply(self, vec: np.ndarray) -> np.ndarray:
         self._check(vec)
-        return vec[self._perm]
+        return vec[..., self._perm]
 
 
 def vwv_phase_check(regs: A3Registers, x: str, y: str) -> np.ndarray:

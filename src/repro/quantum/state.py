@@ -5,10 +5,16 @@ length 2^n; basis index ``i`` assigns qubit ``q`` the bit
 ``(i >> q) & 1`` (qubit 0 is the least significant bit).  All
 probability computations are exact functions of the amplitudes; sampling
 is layered on top where experiments need empirical counts.
+
+Batched states (:class:`BatchedStateVector`) stack B independent trials
+as a ``(B, 2^n)`` array so one NumPy call advances every trial; the
+operators in :mod:`repro.quantum.operators` accept the leading batch
+axis transparently.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Optional, Tuple
 
 import numpy as np
@@ -18,6 +24,26 @@ from ..rng import ensure_rng
 
 #: Tolerance for normalization checks (float64 round-off across many gates).
 NORM_ATOL = 1e-9
+
+
+@lru_cache(maxsize=None)
+def basis_indices(size: int) -> np.ndarray:
+    """``np.arange(size)`` cached per dimension (read-only).
+
+    Index tables are rebuilt constantly on the hot paths (measurement
+    statistics, operator construction); the cache makes them a lookup.
+    """
+    idx = np.arange(size)
+    idx.setflags(write=False)
+    return idx
+
+
+@lru_cache(maxsize=None)
+def bit_where(size: int, qubit: int) -> np.ndarray:
+    """Boolean mask over basis indices where *qubit* is 1 (read-only)."""
+    mask = ((basis_indices(size) >> qubit) & 1) == 1
+    mask.setflags(write=False)
+    return mask
 
 
 def zero_state(n_qubits: int) -> np.ndarray:
@@ -73,8 +99,8 @@ class StateVector:
             raise QuantumError(f"qubit {qubit} out of range")
         if value not in (0, 1):
             raise QuantumError("measurement value must be 0 or 1")
-        idx = np.arange(self.amplitudes.size)
-        mask = ((idx >> qubit) & 1) == value
+        ones = bit_where(self.amplitudes.size, qubit)
+        mask = ones if value == 1 else ~ones
         return float(np.sum(np.abs(self.amplitudes[mask]) ** 2))
 
     def probabilities(self) -> np.ndarray:
@@ -85,7 +111,7 @@ class StateVector:
         """Joint distribution of the given qubits (in the given order)."""
         qubits = list(qubits)
         probs = self.probabilities()
-        idx = np.arange(probs.size)
+        idx = basis_indices(probs.size)
         out = np.zeros(1 << len(qubits))
         sub = np.zeros_like(idx)
         for pos, q in enumerate(qubits):
@@ -104,8 +130,8 @@ class StateVector:
         gen = ensure_rng(rng)
         p1 = self.probability_of_bit(qubit, 1)
         outcome = 1 if gen.random() < p1 else 0
-        idx = np.arange(self.amplitudes.size)
-        keep = ((idx >> qubit) & 1) == outcome
+        ones = bit_where(self.amplitudes.size, qubit)
+        keep = ones if outcome == 1 else ~ones
         collapsed = np.where(keep, self.amplitudes, 0.0)
         norm = np.linalg.norm(collapsed)
         if norm == 0:  # pragma: no cover - impossible given sampling above
@@ -113,10 +139,21 @@ class StateVector:
         return outcome, StateVector(collapsed / norm, check=False)
 
     def sample_all(self, rng=None) -> int:
-        """Sample a full computational-basis measurement; returns the index."""
+        """Sample a full computational-basis measurement; returns the index.
+
+        The amplitudes are checked against :data:`NORM_ATOL` first: real
+        normalization drift raises :class:`QuantumError` instead of being
+        silently renormalized away (only float round-off within the
+        tolerance is compensated).
+        """
         gen = ensure_rng(rng)
         probs = self.probabilities()
-        probs = probs / probs.sum()
+        total = float(probs.sum())
+        if abs(total - 1.0) > NORM_ATOL:
+            raise QuantumError(
+                f"state norm drifted beyond tolerance (sum|a|^2 = {total})"
+            )
+        probs = probs / total
         return int(gen.choice(probs.size, p=probs))
 
     # -- comparisons -----------------------------------------------------
@@ -135,6 +172,81 @@ class StateVector:
 
     def copy(self) -> "StateVector":
         return StateVector(self.amplitudes.copy(), check=False)
+
+
+class BatchedStateVector:
+    """B independent pure states stacked as a ``(B, 2^n)`` array.
+
+    The batch axis is the vectorization unit of the execution engine's
+    dense backend: one NumPy call advances all B trials.  Rows are
+    independent states (no entanglement across the batch axis); the
+    operators in :mod:`repro.quantum.operators` broadcast over it.
+    """
+
+    __slots__ = ("n_qubits", "batch", "amplitudes")
+
+    def __init__(self, amplitudes: np.ndarray, *, check: bool = True) -> None:
+        amplitudes = np.ascontiguousarray(amplitudes, dtype=np.complex128)
+        if amplitudes.ndim != 2:
+            raise QuantumError(
+                f"batched state needs a (B, 2^n) array, got ndim={amplitudes.ndim}"
+            )
+        n = int(np.log2(amplitudes.shape[1]))
+        if (1 << n) != amplitudes.shape[1]:
+            raise QuantumError(
+                f"amplitude row size {amplitudes.shape[1]} is not a power of 2"
+            )
+        if check:
+            norms = np.einsum("bi,bi->b", amplitudes.conj(), amplitudes).real
+            worst = float(np.max(np.abs(norms - 1.0))) if norms.size else 0.0
+            if worst > NORM_ATOL:
+                raise QuantumError(
+                    f"batched state has a non-normalized row (max drift {worst})"
+                )
+        self.n_qubits = n
+        self.batch = amplitudes.shape[0]
+        self.amplitudes = amplitudes
+
+    @classmethod
+    def zero(cls, batch: int, n_qubits: int) -> "BatchedStateVector":
+        """|0...0> replicated across the batch axis."""
+        if batch < 1:
+            raise QuantumError("batch size must be >= 1")
+        amps = np.zeros((batch, 1 << n_qubits), dtype=np.complex128)
+        amps[:, 0] = 1.0
+        return cls(amps, check=False)
+
+    @classmethod
+    def broadcast(cls, state: StateVector, batch: int) -> "BatchedStateVector":
+        """Tile one state into a batch of B identical rows."""
+        if batch < 1:
+            raise QuantumError("batch size must be >= 1")
+        return cls(np.tile(state.amplitudes, (batch, 1)), check=False)
+
+    def row(self, index: int) -> StateVector:
+        """Trial *index* as a standalone :class:`StateVector`."""
+        return StateVector(self.amplitudes[index].copy(), check=False)
+
+    def probabilities(self) -> np.ndarray:
+        """|amplitude|^2 per row: shape (B, 2^n)."""
+        return np.abs(self.amplitudes) ** 2
+
+    def probability_of_bit(self, qubit: int, value: int) -> np.ndarray:
+        """Per-trial probability that measuring *qubit* yields *value*: (B,)."""
+        if not 0 <= qubit < self.n_qubits:
+            raise QuantumError(f"qubit {qubit} out of range")
+        if value not in (0, 1):
+            raise QuantumError("measurement value must be 0 or 1")
+        ones = bit_where(self.amplitudes.shape[1], qubit)
+        mask = ones if value == 1 else ~ones
+        return np.sum(np.abs(self.amplitudes[:, mask]) ** 2, axis=1)
+
+    def norms(self) -> np.ndarray:
+        """Per-trial squared norms (drift diagnostics): (B,)."""
+        return np.einsum("bi,bi->b", self.amplitudes.conj(), self.amplitudes).real
+
+    def copy(self) -> "BatchedStateVector":
+        return BatchedStateVector(self.amplitudes.copy(), check=False)
 
 
 def global_phase_aligned(u: np.ndarray, v: np.ndarray) -> Optional[complex]:

@@ -37,16 +37,27 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """The integer seeds :func:`spawn` would use for *n* children.
+
+    Exposed separately so work can be farmed out to other processes (the
+    execution engine's multiprocess backend ships seeds, not generators)
+    while remaining draw-for-draw identical to an in-process
+    ``spawn(rng, n)``.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive *n* statistically independent child generators from *rng*.
 
     The parent generator is consumed (jumped) in the process, so repeated
     calls yield different children.
     """
-    if n < 0:
-        raise ValueError("n must be non-negative")
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
 
 
 def coin(rng: np.random.Generator, p: float = 0.5) -> bool:

@@ -1,13 +1,19 @@
-"""Drivers: run an online algorithm over a word and collect results."""
+"""Drivers: run an online algorithm over a word and collect results.
+
+Single passes go through :func:`run_online`; repeated-trial experiments
+go through :func:`estimate_acceptance` / :func:`run_many`, which hand
+the loop to the execution engine (:mod:`repro.engine`) so the backend —
+sequential, batched dense, multiprocess — is a caller's choice rather
+than a hard-coded Python loop.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ..rng import ensure_rng, spawn
 from .algorithm import OnlineAlgorithm
 from .stream import InputStream
 from .workspace import SpaceReport
@@ -40,6 +46,45 @@ def run_online(algorithm: OnlineAlgorithm, word: str) -> RunResult:
     )
 
 
+def estimate_acceptance(
+    word: str,
+    trials: int,
+    rng: Any = None,
+    backend: Any = "batched",
+    factory: Optional[Callable[[np.random.Generator], OnlineAlgorithm]] = None,
+):
+    """Sample a word's acceptance probability through the engine.
+
+    With the default *factory* (None, i.e. the Theorem 3.4 recognizer)
+    any backend works and all return identical counts for a fixed seed;
+    a custom *factory* restricts the choice to ``backend="sequential"``.
+    Returns an :class:`repro.engine.AcceptanceEstimate`.
+    """
+    from ..engine import ExecutionEngine
+
+    return ExecutionEngine(backend).estimate_acceptance(
+        word, trials, rng=rng, factory=factory
+    )
+
+
+def run_many(
+    words: Sequence[str],
+    trials: int,
+    rng: Any = None,
+    backend: Any = "batched",
+    factory: Optional[Callable[[np.random.Generator], OnlineAlgorithm]] = None,
+) -> List[Any]:
+    """Sample every word of a list; one spawned child seed per word.
+
+    Returns one :class:`repro.engine.AcceptanceEstimate` per word, in
+    order.  ``backend="multiprocess"`` keeps the same counts while
+    fanning words out over a process pool.
+    """
+    from ..engine import ExecutionEngine
+
+    return ExecutionEngine(backend).run_many(words, trials, rng=rng, factory=factory)
+
+
 def acceptance_probability_by_sampling(
     factory: Callable[[np.random.Generator], OnlineAlgorithm],
     word: str,
@@ -50,14 +95,9 @@ def acceptance_probability_by_sampling(
 
     *factory* builds a fresh algorithm from a child generator each trial,
     so trials are independent and the whole experiment reproducible.
+    Thin wrapper over :func:`estimate_acceptance` with the sequential
+    backend (per-trial semantics preserved draw for draw).
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    parent = ensure_rng(rng)
-    children = spawn(parent, trials)
-    accepted = 0
-    for child in children:
-        result = run_online(factory(child), word)
-        if result.accepted:
-            accepted += 1
-    return accepted / trials
+    return estimate_acceptance(
+        word, trials, rng=rng, backend="sequential", factory=factory
+    ).probability

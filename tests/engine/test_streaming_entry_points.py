@@ -1,0 +1,54 @@
+"""The streaming layer's engine entry points and the rewired sampler."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import acceptance_sweep
+from repro.core import QuantumOnlineRecognizer, intersecting_nonmember, member
+from repro.streaming import (
+    acceptance_probability_by_sampling,
+    estimate_acceptance,
+    run_many,
+)
+
+
+def test_estimate_acceptance_backends_agree():
+    word = intersecting_nonmember(1, 1, np.random.default_rng(4))
+    a = estimate_acceptance(word, 150, rng=21, backend="sequential")
+    b = estimate_acceptance(word, 150, rng=21, backend="batched")
+    assert a.accepted == b.accepted
+
+
+def test_run_many_orders_and_counts():
+    words = [member(1, np.random.default_rng(i)) for i in (0, 1)]
+    estimates = run_many(words, 30, rng=2, backend="batched")
+    assert [e.word_length for e in estimates] == [len(w) for w in words]
+    assert all(e.accepted == 30 for e in estimates)
+
+
+def test_sampler_keeps_sequential_semantics():
+    """The legacy sampler still spawns one child per trial, in order."""
+    word = intersecting_nonmember(1, 2, np.random.default_rng(6))
+    p_old_api = acceptance_probability_by_sampling(
+        lambda g: QuantumOnlineRecognizer(rng=g), word, 100, rng=13
+    )
+    p_engine = estimate_acceptance(word, 100, rng=13, backend="sequential").probability
+    assert p_old_api == p_engine
+
+
+def test_sampler_requires_positive_trials():
+    with pytest.raises(ValueError):
+        acceptance_probability_by_sampling(
+            lambda g: QuantumOnlineRecognizer(rng=g), "1#", 0
+        )
+
+
+def test_acceptance_sweep_labels_preserved():
+    labelled = [
+        ("m", member(1, np.random.default_rng(0))),
+        ("t1", intersecting_nonmember(1, 1, np.random.default_rng(1))),
+    ]
+    out = acceptance_sweep(labelled, 40, rng=9, backend="batched")
+    assert [label for label, _ in out] == ["m", "t1"]
+    assert out[0][1].probability == 1.0
+    assert 0.0 <= out[1][1].probability <= 1.0

@@ -147,6 +147,23 @@ class TestStateVector:
         counts = np.bincount(samples, minlength=4) / 2000
         assert np.all(np.abs(counts - 0.25) < 0.05)
 
+    def test_sample_all_raises_on_norm_drift(self, rng):
+        # Real drift (well past NORM_ATOL) must raise, not be hidden by
+        # silent renormalization.
+        drifted = StateVector(
+            np.ones(4, dtype=np.complex128) / 2 * 1.001, check=False
+        )
+        with pytest.raises(QuantumError, match="drift"):
+            drifted.sample_all(rng)
+
+    def test_sample_all_tolerates_roundoff(self, rng):
+        # Drift inside NORM_ATOL (ordinary float round-off) still samples.
+        wobble = np.sqrt(1.0 + 1e-12)
+        nearly = StateVector(
+            np.ones(4, dtype=np.complex128) / 2 * wobble, check=False
+        )
+        assert nearly.sample_all(rng) in range(4)
+
     def test_fidelity_and_phase(self):
         a = StateVector.zero(2)
         b = StateVector(np.exp(1j * 0.7) * zero_state(2), check=False)
