@@ -43,17 +43,21 @@ def acceptance_sweep(
     trials: int,
     rng: Any = None,
     backend: Any = "batched",
+    recognizer: str = "quantum",
 ) -> List[Tuple[Any, Any]]:
     """Sampled acceptance probability for each ``(label, word)`` pair.
 
     Runs every word through one :class:`repro.engine.ExecutionEngine`
     (so per-word seeds spawn in a backend-independent order) and returns
-    ``[(label, AcceptanceEstimate), ...]`` in input order.
+    ``[(label, AcceptanceEstimate), ...]`` in input order.  *recognizer*
+    selects the machine to sample — the classical recognizers sweep the
+    same way as the quantum one, so classical-vs-quantum comparisons are
+    two calls with the same seed.
     """
     from ..engine import ExecutionEngine
 
     pairs = list(labelled_words)
     estimates = ExecutionEngine(backend).run_many(
-        [word for _, word in pairs], trials, rng=rng
+        [word for _, word in pairs], trials, rng=rng, recognizer=recognizer
     )
     return [(label, est) for (label, _), est in zip(pairs, estimates)]

@@ -100,12 +100,18 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     if args.trials <= 0:
         print("sample: --trials must be positive", file=sys.stderr)
         return 2
+    if args.shard_trials and args.backend != "multiprocess":
+        print("sample: --shard-trials requires --backend multiprocess", file=sys.stderr)
+        return 2
     word = _make_word(args)
-    engine = ExecutionEngine(args.backend)
-    est = engine.estimate_acceptance(word, args.trials, rng=args.seed)
+    options = {"shard_trials": True} if args.shard_trials else {}
+    engine = ExecutionEngine(args.backend, **options)
+    est = engine.estimate_acceptance(
+        word, args.trials, rng=args.seed, recognizer=args.recognizer
+    )
     print(f"|w| = {len(word)}; in L_DISJ: {in_ldisj(word)}")
     print(
-        f"backend={est.backend}  trials={est.trials}  "
+        f"backend={est.backend}  recognizer={est.recognizer}  trials={est.trials}  "
         f"accepted={est.accepted}  Pr[accept] ~= {est.probability:.4f}"
     )
     print(f"throughput: {est.trials_per_second:,.0f} trials/s ({est.elapsed_s:.3f} s)")
@@ -206,6 +212,19 @@ def build_parser() -> argparse.ArgumentParser:
         default="batched",
         choices=["sequential", "batched", "multiprocess"],
         help="execution backend",
+    )
+    samp.add_argument(
+        "--recognizer",
+        default="quantum",
+        choices=["quantum", "classical-blockwise", "classical-full"],
+        help="which machine to sample (Theorem 3.4, Prop. 3.7, or the "
+        "full-storage baseline)",
+    )
+    samp.add_argument(
+        "--shard-trials",
+        action="store_true",
+        help="with --backend multiprocess: split this word's trials "
+        "across workers (same counts as unsharded)",
     )
     samp.set_defaults(func=_cmd_sample)
 

@@ -12,14 +12,31 @@
   repeated input).  The baseline the paper's introduction says is
   impossible "when the length of the string is far beyond the capacity
   of the memory".
+
+Besides the streamed machines, this module provides their *batched*
+counterparts for the execution engine's dense backend: the word's
+blocks are bit-packed into a ``(B, n)`` uint8 matrix (and uint64 lanes
+for whole-block work), A1 is decided once by the offline reference
+parser, A2's per-trial fingerprints come out of one modular-Horner
+sweep (:func:`repro.core.a2_fingerprint.a2_passes_at_points`), and the
+chunk matcher / full-storage comparisons collapse to a handful of NumPy
+reductions.  Trial randomness is drawn generator-for-generator like the
+streamed machines, so acceptance decisions are identical, only faster.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..mathx.primes import fingerprint_prime
+from ..rng import resolve_trial_seeds, spawn
 from ..streaming.algorithm import OnlineAlgorithm
 from ..streaming.combinators import ParallelComposition
 from .a1_format import A1FormatCheck
-from .a2_fingerprint import A2FingerprintCheck
+from .a2_fingerprint import A2FingerprintCheck, a2_passes_at_points
+from .language import parse_condition_i
 from .structure import BlockStreamParser, block_type, round_index
 
 
@@ -153,3 +170,129 @@ class FullStorageClassicalRecognizer(OnlineAlgorithm):
         x = self.workspace.get("fs.x")
         y = self.workspace.get("fs.y")
         return 0 if (x & y) else 1
+
+
+# ---------------------------------------------------------------------------
+# Batched trial execution (the engine's dense backend, classical side)
+# ---------------------------------------------------------------------------
+
+
+def block_bit_matrix(blocks: Sequence[str]) -> np.ndarray:
+    """Bit-pack equal-length blocks into a ``(B, n)`` uint8 0/1 matrix."""
+    data = "".join(blocks).encode("ascii")
+    mat = np.frombuffer(data, dtype=np.uint8).reshape(len(blocks), -1)
+    return (mat - ord("0")).astype(np.uint8)
+
+
+def pack_bits_u64(mat: np.ndarray) -> np.ndarray:
+    """Pack a ``(B, n)`` 0/1 matrix into ``(B, ceil(n/64))`` uint64 lanes.
+
+    Whole-block equality and intersection tests then run 64 positions
+    per machine word instead of one byte per position.
+    """
+    rows, n = mat.shape
+    lane_bytes = 8 * ((n + 63) // 64)
+    packed = np.packbits(mat, axis=1, bitorder="little")
+    if packed.shape[1] < lane_bytes:
+        packed = np.pad(packed, ((0, 0), (0, lane_bytes - packed.shape[1])))
+    return np.ascontiguousarray(packed).view(np.uint64)
+
+
+def blockwise_chunk_match(k: int, blocks: Sequence[str]) -> bool:
+    """The chunk matcher's verdict, vectorized (True = no intersection seen).
+
+    Replays :class:`_BlockwiseCore` on a condition-(i) block sequence:
+    in repetition r only positions ``[r*2^k, (r+1)*2^k)`` are examined,
+    against that repetition's own x block — one diagonal slice of the
+    ``(2^k, 2^k, 2^k)`` chunk tensor and one AND-reduction, instead of a
+    per-bit Python loop.
+    """
+    mat = block_bit_matrix(blocks)
+    reps = 1 << k
+    chunk = 1 << k
+    rounds = np.arange(reps)
+    x_chunks = mat[0::3].reshape(reps, reps, chunk)[rounds, rounds]
+    y_chunks = mat[1::3].reshape(reps, reps, chunk)[rounds, rounds]
+    return not np.bitwise_and(x_chunks, y_chunks).any()
+
+
+def full_storage_accepts(word: str) -> bool:
+    """The full-storage baseline's (deterministic) decision, vectorized.
+
+    Equivalent to streaming *word* through
+    :class:`FullStorageClassicalRecognizer`: reject unless the word has
+    the condition-(i) shape, every x/z block equals repetition 0's x,
+    every y block equals repetition 0's y, and x, y are disjoint.  All
+    block comparisons run over uint64 lanes.
+    """
+    parsed = parse_condition_i(word)
+    if parsed is None:
+        return False
+    _, blocks = parsed
+    lanes = pack_bits_u64(block_bit_matrix(blocks))
+    x, y = lanes[0], lanes[1]
+    consistent = (
+        bool((lanes[0::3] == x).all())
+        and bool((lanes[1::3] == y).all())
+        and bool((lanes[2::3] == x).all())
+    )
+    return consistent and not np.bitwise_and(x, y).any()
+
+
+def sample_blockwise_acceptance_batch(
+    word: str,
+    trials: int,
+    rng=None,
+    trial_seeds: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-trial accept decisions of Proposition 3.7's machine, batched.
+
+    Draw-for-draw equivalent to ``trials`` sequential runs of
+    :class:`BlockwiseClassicalRecognizer` with the same seed: the same
+    child generator is spawned per trial and consulted in the same
+    order (A2's evaluation point t), A2 is evaluated for all trials in
+    one Horner sweep, and the deterministic A1/chunk-matching verdicts
+    are computed once and broadcast.  *trial_seeds* (one child seed per
+    trial, as :func:`repro.rng.spawn_seeds` would produce) overrides the
+    spawn so shards of one word's trials can run in other processes.
+    Returns a boolean array of length *trials*.
+    """
+    seeds = resolve_trial_seeds(trials, rng, trial_seeds)
+    parsed = parse_condition_i(word)
+    if parsed is None:
+        # A1 rejects deterministically; no per-trial randomness matters.
+        return np.zeros(trials, dtype=bool)
+    k, blocks = parsed
+    if not blockwise_chunk_match(k, blocks):
+        # The chunk matcher is deterministic, so the per-trial points
+        # can never flip the (all-False) outcome — skip drawing them.
+        return np.zeros(trials, dtype=bool)
+    p = fingerprint_prime(k)
+    ts = np.empty(trials, dtype=np.int64)
+    for i, seed in enumerate(seeds):
+        (r1,) = spawn(np.random.default_rng(seed), 1)
+        ts[i] = r1.integers(0, p)
+    return a2_passes_at_points(k, blocks, ts)
+
+
+def sample_full_storage_acceptance_batch(
+    word: str,
+    trials: int,
+    rng=None,
+    trial_seeds: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """Per-trial accept decisions of the full-storage baseline, batched.
+
+    The machine is deterministic, so one vectorized decision
+    (:func:`full_storage_accepts`) is broadcast across the trials and
+    *rng* is never consulted — no per-trial children are spawned (at
+    one million trials that loop alone costs seconds for a decision
+    made in microseconds), so unlike the randomized samplers the
+    parent's spawn counter is left untouched.  Explicit *trial_seeds*
+    are still validated so the sampler stays shard-compatible.
+    """
+    if trial_seeds is not None:
+        resolve_trial_seeds(trials, rng, trial_seeds)
+    elif trials <= 0:
+        raise ValueError("trials must be positive")
+    return np.full(trials, full_storage_accepts(word), dtype=bool)

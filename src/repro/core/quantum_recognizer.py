@@ -34,7 +34,7 @@ from ..quantum.operators import (
 )
 from ..quantum.registers import A3Registers
 from ..quantum.state import BatchedStateVector, StateVector
-from ..rng import ensure_rng, spawn, spawn_seeds
+from ..rng import ensure_rng, resolve_trial_seeds, spawn
 from ..streaming.combinators import ParallelComposition
 from ..mathx.primes import fingerprint_prime
 from .a1_format import A1FormatCheck
@@ -193,7 +193,9 @@ def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
     return np.array([marked_probability(batch[i], regs) for i in range(js.size)])
 
 
-def sample_acceptance_batch(word: str, trials: int, rng=None) -> np.ndarray:
+def sample_acceptance_batch(
+    word: str, trials: int, rng=None, trial_seeds=None
+) -> np.ndarray:
     """Per-trial accept decisions of the recognizer, computed batched.
 
     Draw-for-draw equivalent to ``trials`` sequential runs of
@@ -203,12 +205,12 @@ def sample_acceptance_batch(word: str, trials: int, rng=None) -> np.ndarray:
     the same order (A2's t, A3's j, A3's measurement coin), A2 is
     evaluated for all trials in one Horner sweep, and A3's detection
     probabilities are evolved once per *distinct* j as a state batch.
+    *trial_seeds* (one child seed per trial, as
+    :func:`repro.rng.spawn_seeds` would produce) overrides the spawn so
+    shards of one word's trials can run in other processes.
     Returns a boolean array of length *trials*.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
-    parent = ensure_rng(rng)
-    seeds = spawn_seeds(parent, trials)
+    seeds = resolve_trial_seeds(trials, rng, trial_seeds)
     parsed = parse_condition_i(word)
     if parsed is None:
         # A1 rejects deterministically; no per-trial randomness can

@@ -7,6 +7,11 @@ registers the three stock backends:
 * ``batched``    — ``(B, 2^n)`` state batches + one Horner sweep;
 * ``multiprocess`` — word-level fan-out over a process pool.
 
+Orthogonal to the backend axis, every backend samples any of the stock
+recognizers (``recognizer="quantum" | "classical-blockwise" |
+"classical-full"`` — see :data:`repro.engine.api.RECOGNIZERS`): the
+backend is the *how*, the recognizer the *what*.
+
 The seeding contract makes backends interchangeable: same seed, same
 acceptance counts — switching backend is purely a throughput decision.
 """
@@ -15,9 +20,11 @@ from .api import (
     AcceptanceEstimate,
     ExecutionBackend,
     ExecutionEngine,
+    RECOGNIZERS,
     available_backends,
     get_backend,
     register_backend,
+    validate_recognizer,
 )
 from .sequential import SequentialBackend
 from .batched import BatchedDenseBackend
@@ -27,9 +34,11 @@ __all__ = [
     "AcceptanceEstimate",
     "ExecutionBackend",
     "ExecutionEngine",
+    "RECOGNIZERS",
     "available_backends",
     "get_backend",
     "register_backend",
+    "validate_recognizer",
     "SequentialBackend",
     "BatchedDenseBackend",
     "MultiprocessBackend",

@@ -31,6 +31,28 @@ import numpy as np
 
 from ..rng import ensure_rng, spawn_seeds
 
+#: Recognizer names every backend understands (the *what* to sample;
+#: the backend is the *how*).  "quantum" is Theorem 3.4's machine,
+#: "classical-blockwise" Proposition 3.7's, "classical-full" the
+#: full-storage baseline.
+RECOGNIZERS = ("quantum", "classical-blockwise", "classical-full")
+
+#: Recognizers whose machines consult no randomness at all.  No backend
+#: spawns per-trial children for these, so a parent generator shared
+#: across successive calls is left in the same spawn state whatever the
+#: backend — the seeding contract holds call-for-call, not just
+#: call-by-call.
+DETERMINISTIC_RECOGNIZERS = frozenset({"classical-full"})
+
+
+def validate_recognizer(recognizer: str) -> str:
+    """Reject unknown recognizer names with a helpful message."""
+    if recognizer not in RECOGNIZERS:
+        raise ValueError(
+            f"unknown recognizer {recognizer!r}; available: {', '.join(RECOGNIZERS)}"
+        )
+    return recognizer
+
 
 @dataclass(frozen=True)
 class AcceptanceEstimate:
@@ -49,6 +71,7 @@ class AcceptanceEstimate:
     accepted: int
     backend: str
     elapsed_s: float = 0.0
+    recognizer: str = "quantum"
 
     @property
     def probability(self) -> float:
@@ -57,7 +80,12 @@ class AcceptanceEstimate:
 
     @property
     def trials_per_second(self) -> float:
-        return self.trials / self.elapsed_s if self.elapsed_s > 0 else float("inf")
+        """Throughput; 0.0 when the timing is below clock resolution.
+
+        (Never ``inf``: benchmark records serialize estimates to JSON,
+        where ``Infinity`` is not a legal literal.)
+        """
+        return self.trials / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
 
 class ExecutionBackend(ABC):
@@ -78,12 +106,14 @@ class ExecutionBackend(ABC):
         trials: int,
         rng: np.random.Generator,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> int:
         """Number of accepting trials among *trials* runs on *word*.
 
-        *factory* (child generator -> algorithm) overrides the default
-        Theorem 3.4 recognizer; backends that vectorize the recognizer
-        itself reject custom factories.
+        *recognizer* picks the machine to sample (see
+        :data:`RECOGNIZERS`); *factory* (child generator -> algorithm)
+        overrides it with an arbitrary algorithm — backends that
+        vectorize the recognizers themselves reject custom factories.
         """
 
     def count_accepted_many(
@@ -92,11 +122,14 @@ class ExecutionBackend(ABC):
         trials: int,
         rng: np.random.Generator,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> List[int]:
         """Accepted counts per word; one spawned child seed per word."""
         seeds = spawn_seeds(rng, len(words))
         return [
-            self.count_accepted(word, trials, np.random.default_rng(seed), factory)
+            self.count_accepted(
+                word, trials, np.random.default_rng(seed), factory, recognizer
+            )
             for word, seed in zip(words, seeds)
         ]
 
@@ -156,15 +189,17 @@ class ExecutionEngine:
         trials: int,
         rng=None,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> AcceptanceEstimate:
         """Sample *trials* independent runs on one word."""
         import time
 
         if trials <= 0:
             raise ValueError("trials must be positive")
+        validate_recognizer(recognizer)
         gen = ensure_rng(rng)
         start = time.perf_counter()
-        accepted = self.backend.count_accepted(word, trials, gen, factory)
+        accepted = self.backend.count_accepted(word, trials, gen, factory, recognizer)
         elapsed = time.perf_counter() - start
         return AcceptanceEstimate(
             word_length=len(word),
@@ -172,6 +207,9 @@ class ExecutionEngine:
             accepted=accepted,
             backend=self.backend.name,
             elapsed_s=elapsed,
+            # A custom factory replaces the stock machine, so the
+            # estimate must not claim a named recognizer ran.
+            recognizer="custom" if factory is not None else recognizer,
         )
 
     def run_many(
@@ -180,17 +218,20 @@ class ExecutionEngine:
         trials: int,
         rng=None,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> List[AcceptanceEstimate]:
         """Sample every word of a list; per-word seeds spawn in order."""
         import time
 
         if trials <= 0:
             raise ValueError("trials must be positive")
+        validate_recognizer(recognizer)
         gen = ensure_rng(rng)
         start = time.perf_counter()
-        counts = self.backend.count_accepted_many(words, trials, gen, factory)
+        counts = self.backend.count_accepted_many(words, trials, gen, factory, recognizer)
         elapsed = time.perf_counter() - start
         per_word = elapsed / len(words) if words else 0.0
+        label = "custom" if factory is not None else recognizer
         return [
             AcceptanceEstimate(
                 word_length=len(word),
@@ -198,6 +239,7 @@ class ExecutionEngine:
                 accepted=count,
                 backend=self.backend.name,
                 elapsed_s=per_word,
+                recognizer=label,
             )
             for word, count in zip(words, counts)
         ]

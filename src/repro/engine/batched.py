@@ -1,27 +1,52 @@
 """The dense batched backend: all trials advance per NumPy call.
 
-Delegates to the core layer's batch path
-(:func:`repro.core.quantum_recognizer.sample_acceptance_batch`): A1 is
-decided once, A2's fingerprints for every trial's evaluation point come
-out of one modular-Horner sweep, and A3's quantum register is promoted
-to a ``(J, 2^{2k+2})`` batch — one row per distinct iteration count —
-evolved through the operators' leading batch axis.  Trial randomness is
-drawn generator-for-generator like the sequential backend, so the
-acceptance counts are identical, only faster.
+Delegates to the core layer's batch paths, one per recognizer:
+
+* ``quantum`` — :func:`repro.core.quantum_recognizer.sample_acceptance_batch`:
+  A1 is decided once, A2's fingerprints for every trial's evaluation
+  point come out of one modular-Horner sweep, and A3's quantum register
+  is promoted to a ``(J, 2^{2k+2})`` batch — one row per distinct
+  iteration count — evolved through the operators' leading batch axis.
+* ``classical-blockwise`` —
+  :func:`repro.core.classical_recognizer.sample_blockwise_acceptance_batch`:
+  the same A1/A2 vectorization plus the Proposition 3.7 chunk matcher
+  collapsed to one bit-matrix diagonal AND-reduction.
+* ``classical-full`` —
+  :func:`repro.core.classical_recognizer.sample_full_storage_acceptance_batch`:
+  the deterministic baseline decided once over packed uint64 lanes and
+  broadcast across trials.
+
+Trial randomness is drawn generator-for-generator like the sequential
+backend, so the acceptance counts are identical, only faster.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
-from .api import ExecutionBackend, register_backend
+from .api import ExecutionBackend, register_backend, validate_recognizer
+
+
+def _batch_sampler(recognizer: str) -> Callable[..., np.ndarray]:
+    validate_recognizer(recognizer)
+    if recognizer == "quantum":
+        from ..core.quantum_recognizer import sample_acceptance_batch
+
+        return sample_acceptance_batch
+    if recognizer == "classical-blockwise":
+        from ..core.classical_recognizer import sample_blockwise_acceptance_batch
+
+        return sample_blockwise_acceptance_batch
+    from ..core.classical_recognizer import sample_full_storage_acceptance_batch
+
+    return sample_full_storage_acceptance_batch
 
 
 @register_backend
 class BatchedDenseBackend(ExecutionBackend):
-    """Vectorized trials for the Theorem 3.4 recognizer."""
+    """Vectorized trials for the stock recognizers."""
 
     name = "batched"
 
@@ -31,13 +56,25 @@ class BatchedDenseBackend(ExecutionBackend):
         trials: int,
         rng: np.random.Generator,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> int:
-        from ..core.quantum_recognizer import sample_acceptance_batch
-
         if factory is not None:
             raise ValueError(
-                "the batched backend vectorizes the Theorem 3.4 recognizer "
-                "itself and cannot run a custom factory; use backend="
+                "the batched backend vectorizes the stock recognizers "
+                "themselves and cannot run a custom factory; use backend="
                 "'sequential' for arbitrary algorithms"
             )
-        return int(np.count_nonzero(sample_acceptance_batch(word, trials, rng)))
+        sampler = _batch_sampler(recognizer)
+        return int(np.count_nonzero(sampler(word, trials, rng)))
+
+    def count_accepted_from_seeds(
+        self,
+        word: str,
+        seeds: Sequence[int],
+        recognizer: str = "quantum",
+    ) -> int:
+        """Accepted count for explicit per-trial child seeds (sharding)."""
+        sampler = _batch_sampler(recognizer)
+        return int(
+            np.count_nonzero(sampler(word, len(seeds), None, trial_seeds=seeds))
+        )

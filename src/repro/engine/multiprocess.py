@@ -1,14 +1,24 @@
-"""The multiprocess backend: fan a word list out over a process pool.
+"""The multiprocess backend: fan work out over a process pool.
 
-Each worker runs one of the in-process backends (batched by default) on
-its word.  Workers receive integer seeds — the exact seeds
-:func:`repro.rng.spawn_seeds` hands the in-process backends — so the
-counts are identical to a serial ``run_many`` with the same parent
-seed, whatever the pool's scheduling order.
+Two fan-out axes:
 
-``processes <= 1`` degrades gracefully to inline execution (useful in
-sandboxes where forking is restricted, and as the single-word
-``count_accepted`` path, which has nothing to fan out).
+* **word-level** (the default ``count_accepted_many`` path) — each
+  worker runs one of the in-process backends (batched by default) on
+  its word.  Workers receive integer seeds — the exact seeds
+  :func:`repro.rng.spawn_seeds` hands the in-process backends — so the
+  counts are identical to a serial ``run_many`` with the same parent
+  seed, whatever the pool's scheduling order.
+* **trial-level** (``shard_trials=True``) — one word's trials are split
+  into contiguous shards, each shipped to a worker as an explicit list
+  of per-trial child seeds (a slice of the word's unsharded
+  ``spawn_seeds`` output), so the per-trial draw order — and therefore
+  the acceptance count — is identical to the unsharded run.  This is
+  the single-word deep-sampling path.
+
+``processes <= 1`` degrades gracefully to inline execution, as does any
+pool-level failure — restricted sandboxes (``OSError`` /
+``PermissionError`` at fork time) and workers reaped mid-flight
+(``BrokenProcessPool``, e.g. OOM kills): same counts, no parallelism.
 """
 
 from __future__ import annotations
@@ -18,28 +28,71 @@ from typing import Any, Callable, List, Optional, Sequence
 import numpy as np
 
 from ..rng import spawn_seeds
-from .api import ExecutionBackend, get_backend, register_backend
+from .api import (
+    DETERMINISTIC_RECOGNIZERS,
+    ExecutionBackend,
+    get_backend,
+    register_backend,
+)
 
 
 def _count_one(args: tuple) -> int:
     """Pool worker: rebuild the inner backend and run one word."""
-    word, trials, seed, inner_name = args
+    word, trials, seed, inner_name, recognizer = args
     backend = get_backend(inner_name)
-    return backend.count_accepted(word, trials, np.random.default_rng(seed))
+    return backend.count_accepted(
+        word, trials, np.random.default_rng(seed), recognizer=recognizer
+    )
+
+
+def _count_shard(args: tuple) -> int:
+    """Pool worker: run one shard of a word's trials from explicit seeds."""
+    word, seeds, inner_name, recognizer = args
+    backend = get_backend(inner_name)
+    return backend.count_accepted_from_seeds(word, seeds, recognizer)
+
+
+def _pool_errors() -> tuple:
+    from concurrent.futures.process import BrokenProcessPool
+
+    # Restricted environments (no fork/semaphores) surface as OSError /
+    # PermissionError at pool creation; a worker killed mid-flight (OOM,
+    # sandbox reaping) surfaces as BrokenProcessPool from the result
+    # iterator.  All degrade to inline execution with identical counts.
+    return (OSError, PermissionError, BrokenProcessPool)
 
 
 @register_backend
 class MultiprocessBackend(ExecutionBackend):
-    """Word-level parallelism over ``concurrent.futures`` workers."""
+    """Word- or trial-level parallelism over ``concurrent.futures`` workers."""
 
     name = "multiprocess"
 
-    def __init__(self, inner: str = "batched", processes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        inner: str = "batched",
+        processes: Optional[int] = None,
+        shard_trials: bool = False,
+    ) -> None:
         if inner == self.name:
             raise ValueError("multiprocess cannot nest itself")
         self.inner = inner
         self.processes = processes
+        self.shard_trials = shard_trials
         self._inner_backend = get_backend(inner)
+        if shard_trials and not hasattr(self._inner_backend, "count_accepted_from_seeds"):
+            raise ValueError(
+                f"inner backend {inner!r} cannot run from explicit trial "
+                "seeds, so its trials cannot be sharded"
+            )
+
+    def _workers(self, jobs: int) -> int:
+        workers = self.processes
+        if workers is None:
+            import os
+
+            workers = min(jobs, os.cpu_count() or 1)
+        return workers
 
     def count_accepted(
         self,
@@ -47,11 +100,40 @@ class MultiprocessBackend(ExecutionBackend):
         trials: int,
         rng: np.random.Generator,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> int:
-        # One word has nothing to fan out; run the inner backend inline.
         if factory is not None:
             raise ValueError("the multiprocess backend ships seeds, not closures")
-        return self._inner_backend.count_accepted(word, trials, rng)
+        if not self.shard_trials or recognizer in DETERMINISTIC_RECOGNIZERS:
+            # One word has nothing to fan out (and a deterministic
+            # recognizer is decided once, so sharding its trials would
+            # only spawn seeds nobody consults); run the inner backend
+            # inline.
+            return self._inner_backend.count_accepted(
+                word, trials, rng, recognizer=recognizer
+            )
+        # Trial-level sharding: the word's per-trial seeds are spawned
+        # exactly as the unsharded inner backend would, then split into
+        # contiguous shards — one worker each, summed counts.
+        seeds = spawn_seeds(rng, trials)
+        workers = min(self._workers(trials), trials)
+        if workers <= 1:
+            return self._inner_backend.count_accepted_from_seeds(
+                word, seeds, recognizer
+            )
+        bounds = np.linspace(0, trials, workers + 1, dtype=int)
+        shards = [
+            (word, seeds[lo:hi], self.inner, recognizer)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                return sum(pool.map(_count_shard, shards))
+        except _pool_errors():
+            return sum(_count_shard(shard) for shard in shards)
 
     def count_accepted_many(
         self,
@@ -59,18 +141,26 @@ class MultiprocessBackend(ExecutionBackend):
         trials: int,
         rng: np.random.Generator,
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
     ) -> List[int]:
         if factory is not None:
             raise ValueError("the multiprocess backend ships seeds, not closures")
         seeds = spawn_seeds(rng, len(words))
+        if self.shard_trials and len(words) == 1:
+            # A single word fans out better across its trials.
+            return [
+                self.count_accepted(
+                    words[0],
+                    trials,
+                    np.random.default_rng(seeds[0]),
+                    recognizer=recognizer,
+                )
+            ]
         jobs = [
-            (word, trials, seed, self.inner) for word, seed in zip(words, seeds)
+            (word, trials, seed, self.inner, recognizer)
+            for word, seed in zip(words, seeds)
         ]
-        workers = self.processes
-        if workers is None:
-            import os
-
-            workers = min(len(jobs), os.cpu_count() or 1)
+        workers = self._workers(len(jobs))
         if workers <= 1 or len(jobs) <= 1:
             return [_count_one(job) for job in jobs]
         from concurrent.futures import ProcessPoolExecutor
@@ -78,7 +168,5 @@ class MultiprocessBackend(ExecutionBackend):
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 return list(pool.map(_count_one, jobs))
-        except (OSError, PermissionError):
-            # Restricted environments (no fork/semaphores): run inline —
-            # same counts, no parallelism.
+        except _pool_errors():
             return [_count_one(job) for job in jobs]

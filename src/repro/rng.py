@@ -3,8 +3,10 @@
 All stochastic code in the library takes a ``numpy.random.Generator``
 (or anything :func:`ensure_rng` accepts) explicitly, so that every
 experiment is reproducible from a single integer seed.  Independent
-sub-streams are derived with :func:`spawn`, which uses NumPy's
-``SeedSequence`` spawning rather than ad-hoc seed arithmetic.
+sub-streams are derived with :func:`spawn` / :func:`spawn_seeds`, which
+use NumPy's ``SeedSequence`` spawning rather than ad-hoc seed
+arithmetic, so child streams are independent by construction and the
+parent's sample stream is never consumed to make children.
 """
 
 from __future__ import annotations
@@ -37,27 +39,64 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def _seed_sequence_of(rng: np.random.Generator) -> np.random.SeedSequence:
+    """The ``SeedSequence`` backing *rng*'s bit generator."""
+    bit_gen = rng.bit_generator
+    seq = getattr(bit_gen, "seed_seq", None) or getattr(bit_gen, "_seed_seq", None)
+    if not isinstance(seq, np.random.SeedSequence):
+        raise TypeError(
+            "generator's bit generator exposes no SeedSequence; build it "
+            "with numpy.random.default_rng so children can be spawned"
+        )
+    return seq
+
+
 def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
     """The integer seeds :func:`spawn` would use for *n* children.
 
-    Exposed separately so work can be farmed out to other processes (the
-    execution engine's multiprocess backend ships seeds, not generators)
-    while remaining draw-for-draw identical to an in-process
-    ``spawn(rng, n)``.
+    Children come from NumPy's ``SeedSequence.spawn`` on the sequence
+    backing *rng*, collapsed to one 128-bit integer each (the child's
+    generated state words), so a child is fully described by a plain
+    ``int``.  Exposed separately so work can be farmed out to other
+    processes (the execution engine's multiprocess backend ships seeds,
+    not generators) while remaining draw-for-draw identical to an
+    in-process ``spawn(rng, n)``.
     """
     if n < 0:
         raise ValueError("n must be non-negative")
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [int(s) for s in seeds]
+    children = _seed_sequence_of(rng).spawn(n)
+    return [
+        int.from_bytes(child.generate_state(4, np.uint32).tobytes(), "little")
+        for child in children
+    ]
 
 
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive *n* statistically independent child generators from *rng*.
 
-    The parent generator is consumed (jumped) in the process, so repeated
-    calls yield different children.
+    Spawning advances the parent's ``SeedSequence`` spawn counter (not
+    its sample stream), so repeated calls yield different children while
+    leaving the parent's own draws untouched.
     """
     return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
+
+
+def resolve_trial_seeds(trials: int, rng: RngLike, trial_seeds=None) -> list[int]:
+    """Per-trial child seeds for a batched sampler.
+
+    With *trial_seeds* None this is ``spawn_seeds(ensure_rng(rng),
+    trials)``; otherwise the explicit seed list is validated against
+    *trials* and used verbatim — which is how shards of one word's
+    trials reproduce the unsharded draw order in other processes.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if trial_seeds is None:
+        return spawn_seeds(ensure_rng(rng), trials)
+    seeds = [int(s) for s in trial_seeds]
+    if len(seeds) != trials:
+        raise ValueError(f"expected {trials} trial seeds, got {len(seeds)}")
+    return seeds
 
 
 def coin(rng: np.random.Generator, p: float = 0.5) -> bool:

@@ -52,18 +52,21 @@ def estimate_acceptance(
     rng: Any = None,
     backend: Any = "batched",
     factory: Optional[Callable[[np.random.Generator], OnlineAlgorithm]] = None,
+    recognizer: str = "quantum",
 ):
     """Sample a word's acceptance probability through the engine.
 
-    With the default *factory* (None, i.e. the Theorem 3.4 recognizer)
-    any backend works and all return identical counts for a fixed seed;
-    a custom *factory* restricts the choice to ``backend="sequential"``.
-    Returns an :class:`repro.engine.AcceptanceEstimate`.
+    *recognizer* picks the stock machine to sample ("quantum",
+    "classical-blockwise" or "classical-full"); with any of those every
+    backend works and all return identical counts for a fixed seed.  A
+    custom *factory* overrides the recognizer and restricts the choice
+    to ``backend="sequential"``.  Returns an
+    :class:`repro.engine.AcceptanceEstimate`.
     """
     from ..engine import ExecutionEngine
 
     return ExecutionEngine(backend).estimate_acceptance(
-        word, trials, rng=rng, factory=factory
+        word, trials, rng=rng, factory=factory, recognizer=recognizer
     )
 
 
@@ -73,6 +76,7 @@ def run_many(
     rng: Any = None,
     backend: Any = "batched",
     factory: Optional[Callable[[np.random.Generator], OnlineAlgorithm]] = None,
+    recognizer: str = "quantum",
 ) -> List[Any]:
     """Sample every word of a list; one spawned child seed per word.
 
@@ -82,7 +86,9 @@ def run_many(
     """
     from ..engine import ExecutionEngine
 
-    return ExecutionEngine(backend).run_many(words, trials, rng=rng, factory=factory)
+    return ExecutionEngine(backend).run_many(
+        words, trials, rng=rng, factory=factory, recognizer=recognizer
+    )
 
 
 def acceptance_probability_by_sampling(

@@ -64,3 +64,47 @@ class TestCommands:
         assert main(["qfa", "--primes", "5", "13"]) == 0
         out = capsys.readouterr().out
         assert "DFA states" in out
+
+    def test_sample_default_quantum(self, capsys):
+        assert main(["sample", "--k", "1", "--trials", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "recognizer=quantum" in out and "trials=50" in out
+
+    def test_sample_classical_recognizers(self, capsys):
+        for rec in ("classical-blockwise", "classical-full"):
+            assert (
+                main(
+                    ["sample", "--k", "1", "--trials", "30", "--recognizer", rec]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert f"recognizer={rec}" in out and "accepted=30" in out
+
+    def test_sample_recognizer_counts_backend_independent(self, capsys):
+        args = ["sample", "--k", "1", "--kind", "intersecting", "--t", "2",
+                "--trials", "60", "--recognizer", "classical-blockwise",
+                "--seed", "7"]
+        outputs = []
+        for backend in ("sequential", "batched"):
+            assert main(args + ["--backend", backend]) == 0
+            out = capsys.readouterr().out
+            outputs.append([l for l in out.splitlines() if "accepted=" in l][0])
+        a, b = outputs
+        assert a.split("accepted=")[1].split()[0] == b.split("accepted=")[1].split()[0]
+
+    def test_sample_shard_trials(self, capsys):
+        assert (
+            main(
+                ["sample", "--k", "1", "--trials", "40", "--backend",
+                 "multiprocess", "--shard-trials"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "backend=multiprocess" in out
+
+    def test_sample_shard_trials_requires_multiprocess(self, capsys):
+        assert main(["sample", "--k", "1", "--shard-trials"]) == 2
+        err = capsys.readouterr().err
+        assert "--backend multiprocess" in err

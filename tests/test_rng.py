@@ -49,6 +49,56 @@ class TestSpawn:
         assert a.random() != b.random()
 
 
+class TestSpawnSeeds:
+    """spawn_seeds really spawns via SeedSequence, as the docs promise."""
+
+    def test_matches_seed_sequence_spawn(self):
+        expected = [
+            int.from_bytes(child.generate_state(4, np.uint32).tobytes(), "little")
+            for child in np.random.SeedSequence(5).spawn(3)
+        ]
+        assert rngmod.spawn_seeds(np.random.default_rng(5), 3) == expected
+
+    def test_parent_sample_stream_untouched(self):
+        parent = np.random.default_rng(3)
+        untouched = np.random.default_rng(3).random()
+        rngmod.spawn_seeds(parent, 8)
+        assert parent.random() == untouched
+
+    def test_deterministic_for_fixed_seed(self):
+        a = rngmod.spawn_seeds(np.random.default_rng(7), 4)
+        b = rngmod.spawn_seeds(np.random.default_rng(7), 4)
+        assert a == b
+
+    def test_repeated_spawns_differ(self):
+        parent = np.random.default_rng(7)
+        assert rngmod.spawn_seeds(parent, 2) != rngmod.spawn_seeds(parent, 2)
+
+    def test_spawn_consistent_with_spawn_seeds(self):
+        seeds = rngmod.spawn_seeds(np.random.default_rng(9), 3)
+        children = rngmod.spawn(np.random.default_rng(9), 3)
+        for seed, child in zip(seeds, children):
+            assert np.random.default_rng(seed).random() == child.random()
+
+
+class TestResolveTrialSeeds:
+    def test_defaults_to_spawn_seeds(self):
+        assert rngmod.resolve_trial_seeds(3, 11) == rngmod.spawn_seeds(
+            np.random.default_rng(11), 3
+        )
+
+    def test_explicit_seeds_pass_through(self):
+        assert rngmod.resolve_trial_seeds(2, None, [4, 5]) == [4, 5]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="trial seeds"):
+            rngmod.resolve_trial_seeds(3, None, [1, 2])
+
+    def test_nonpositive_trials_rejected(self):
+        with pytest.raises(ValueError):
+            rngmod.resolve_trial_seeds(0, None)
+
+
 class TestHelpers:
     def test_coin_bounds(self):
         g = np.random.default_rng(0)
