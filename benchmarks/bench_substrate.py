@@ -223,4 +223,43 @@ def test_engine_backend_throughput():
     record["batched_speedup_over_sequential"] = quantum[
         "batched_speedup_over_sequential"
     ]
+
+    # The lab store: the same experiment run cold (executes everything),
+    # warm (pure cache hit, zero engine trials) and deepened to 2x
+    # (executes only the second half, counts seed-identical to a fresh
+    # 2x run).  Records the amortization the store buys repeat sweeps.
+    import tempfile
+
+    from repro.lab import ExperimentSpec, Orchestrator
+
+    with tempfile.TemporaryDirectory() as tmp:
+        orchestrator = Orchestrator(tmp)
+        spec = ExperimentSpec(
+            family="intersecting", k=2, t=1, word_seed=2, trials=trials, seed=2006
+        )
+        t0 = time.perf_counter()
+        cold = orchestrator.run(spec)
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = orchestrator.run(spec)
+        warm_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        deep = orchestrator.run(spec.with_trials(2 * trials))
+        deep_s = time.perf_counter() - t0
+        fresh_2x = ExecutionEngine("batched").estimate_acceptance(
+            spec.resolve_word(), 2 * trials, rng=2006
+        )
+        assert warm.source == "cache" and warm.trials_executed == 0
+        assert cold.estimate.accepted == warm.estimate.accepted
+        assert deep.source == "deepened" and deep.trials_executed == trials
+        assert deep.estimate.accepted == fresh_2x.accepted, "deepening drifted"
+        record["lab"] = {
+            "trials": trials,
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "deepen_to_2x_seconds": round(deep_s, 4),
+            "warm_trials_executed": warm.trials_executed,
+            "deepened_matches_fresh_2x": deep.estimate.accepted == fresh_2x.accepted,
+        }
+
     _write_engine_record(record, smoke)

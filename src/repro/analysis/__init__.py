@@ -17,10 +17,12 @@ from .counting import (
     check_fact_2_2,
 )
 from .bounds import (
+    binomial_stderr,
     fit_log_curve,
     fit_power_curve,
     is_bounded_by,
     growth_ratio,
+    wilson_interval,
 )
 from .report import Table
 from .sweep import sweep, acceptance_sweep
@@ -31,10 +33,12 @@ __all__ = [
     "registers_to_cells",
     "cells_to_registers",
     "check_fact_2_2",
+    "binomial_stderr",
     "fit_log_curve",
     "fit_power_curve",
     "is_bounded_by",
     "growth_ratio",
+    "wilson_interval",
     "Table",
     "sweep",
     "acceptance_sweep",

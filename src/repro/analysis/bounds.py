@@ -69,6 +69,48 @@ def fit_power_curve(
     return is_bounded_by(xs, ys, lambda x: x**exponent)
 
 
+def binomial_stderr(successes: int, trials: int) -> float:
+    """Standard error of the empirical frequency ``successes / trials``.
+
+    The plug-in estimate ``sqrt(p_hat (1 - p_hat) / trials)``; zero at
+    the boundary frequencies, where the Wilson interval
+    (:func:`wilson_interval`) remains informative.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p = successes / trials
+    return math.sqrt(p * (1.0 - p) / trials)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.959963984540054
+) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The default *z* is the two-sided 95% normal quantile.  Unlike the
+    Wald interval ``p_hat +/- z * stderr``, the Wilson interval stays
+    inside [0, 1] and does not collapse to a point at 0 or *trials*
+    successes — which is exactly the regime the acceptance experiments
+    live in (the quantum recognizer accepts members with probability 1).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    if z <= 0:
+        raise ValueError("z must be positive")
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (
+        z * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)) / denom
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
 def growth_ratio(values: Sequence[float]) -> list[float]:
     """Consecutive ratios v_{i+1} / v_i (geometric growth shows up as
     ratios bounded away from 1)."""

@@ -44,6 +44,7 @@ def acceptance_sweep(
     rng: Any = None,
     backend: Any = "batched",
     recognizer: str = "quantum",
+    store: Any = None,
 ) -> List[Tuple[Any, Any]]:
     """Sampled acceptance probability for each ``(label, word)`` pair.
 
@@ -53,10 +54,46 @@ def acceptance_sweep(
     selects the machine to sample — the classical recognizers sweep the
     same way as the quantum one, so classical-vs-quantum comparisons are
     two calls with the same seed.
+
+    With *store* (a :class:`repro.lab.ResultStore` or a directory path)
+    the sweep goes through the lab orchestrator instead: each word's
+    estimate is served from the store, deepened, or computed and
+    cached.  Counts are identical to the engine path for the same
+    seed — each word's parent seed is the very child seed ``run_many``
+    would have spawned for it — so adding ``store=`` never changes a
+    sweep's statistics, only how much of it re-executes.
     """
     from ..engine import ExecutionEngine
 
     pairs = list(labelled_words)
+    if store is not None:
+        from ..lab import ExperimentSpec, Orchestrator
+        from ..rng import ensure_rng, spawn_seeds
+
+        if not isinstance(backend, str):
+            # A configured instance cannot be serialized into a spec,
+            # and silently rebuilding a default-options instance would
+            # not be the execution the caller asked for.
+            raise ValueError(
+                "store= requires backend to be a registry name (specs "
+                "record names, not configured backend instances)"
+            )
+        backend_name = backend
+        orchestrator = Orchestrator(store)
+        word_seeds = spawn_seeds(ensure_rng(rng), len(pairs))
+        results = []
+        for (label, word), seed in zip(pairs, word_seeds):
+            run = orchestrator.run(
+                ExperimentSpec(
+                    word=word,
+                    recognizer=recognizer,
+                    backend=backend_name,
+                    trials=trials,
+                    seed=seed,
+                )
+            )
+            results.append((label, run.estimate))
+        return results
     estimates = ExecutionEngine(backend).run_many(
         [word for _, word in pairs], trials, rng=rng, recognizer=recognizer
     )

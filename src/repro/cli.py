@@ -11,6 +11,9 @@ Commands
 * ``grover``      — the BBHT success-probability table for one k.
 * ``comm``        — quantum vs classical communication costs for DISJ.
 * ``qfa``         — the footnote-2 automata state-count table.
+* ``lab``         — the persistent experiment store: ``lab run`` caches
+  and deepens acceptance experiments, ``lab status`` / ``lab report``
+  inspect the store.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import numpy as np
 
 def _cmd_info(args: argparse.Namespace) -> int:
     from . import __version__
+    from .engine import RECOGNIZERS, available_backends
 
     print(f"repro {__version__}")
     print(
@@ -35,6 +39,9 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "  Theorem 3.4   quantum online recognizer, O(log n) space\n"
         "  Theorem 3.6   classical online lower bound Omega(n^{1/3})\n"
         "  Prop. 3.7     classical online upper bound O(n^{1/3})\n"
+        "\n"
+        f"Engine backends (--backend): {', '.join(available_backends())}\n"
+        f"Recognizers (--recognizer):  {', '.join(RECOGNIZERS)}\n"
         "\n"
         "See DESIGN.md for the system inventory, EXPERIMENTS.md for the\n"
         "paper-vs-measured record, benchmarks/ for the regeneration harness."
@@ -110,11 +117,111 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         word, args.trials, rng=args.seed, recognizer=args.recognizer
     )
     print(f"|w| = {len(word)}; in L_DISJ: {in_ldisj(word)}")
+    _print_estimate_stats(est)
+    print(f"throughput: {est.trials_per_second:,.0f} trials/s ({est.elapsed_s:.3f} s)")
+    return 0
+
+
+def _lab_spec(args: argparse.Namespace):
+    """Build an :class:`ExperimentSpec` from the shared word options."""
+    from .lab import ExperimentSpec
+
+    return ExperimentSpec(
+        family="member" if args.word else args.kind,
+        k=args.k,
+        t=args.t,
+        word=args.word,
+        word_seed=args.seed,
+        recognizer=args.recognizer,
+        backend=args.backend,
+        trials=args.trials,
+        seed=args.seed,
+    )
+
+
+def _print_estimate_stats(est) -> None:
     print(
         f"backend={est.backend}  recognizer={est.recognizer}  trials={est.trials}  "
         f"accepted={est.accepted}  Pr[accept] ~= {est.probability:.4f}"
     )
-    print(f"throughput: {est.trials_per_second:,.0f} trials/s ({est.elapsed_s:.3f} s)")
+    lo, hi = est.wilson95
+    print(f"stderr = {est.stderr:.4f}; Wilson 95% CI [{lo:.4f}, {hi:.4f}]")
+
+
+def _cmd_lab_run(args: argparse.Namespace) -> int:
+    from .lab import Orchestrator
+
+    try:
+        spec = _lab_spec(args)
+    except ValueError as exc:
+        print(f"lab run: {exc}", file=sys.stderr)
+        return 2
+    result = Orchestrator(args.store).run(spec)
+    print(f"key={result.key[:16]}  {spec.describe()}  store={args.store}")
+    print(
+        f"source={result.source}  trials_executed={result.trials_executed}  "
+        f"base_trials={result.base_trials}"
+    )
+    _print_estimate_stats(result.estimate)
+    return 0
+
+
+def _cmd_lab_status(args: argparse.Namespace) -> int:
+    from .lab import ResultStore
+
+    store = ResultStore(args.store)
+    checkpoints = store.load()
+    latest = store.latest_by_key()
+    print(f"store: {store.path}")
+    print(
+        f"experiments: {len(latest)}  checkpoints: {len(checkpoints)}  "
+        f"corrupt lines skipped: {store.corrupt_lines}"
+    )
+    print(f"stored trials (deepest per experiment): "
+          f"{sum(r.trials for r in latest.values())}")
+    return 0
+
+
+def _cmd_lab_report(args: argparse.Namespace) -> int:
+    from .analysis import Table
+    from .lab import ExperimentSpec, ResultStore
+
+    store = ResultStore(args.store)
+    latest = store.latest_by_key()
+    table = Table(
+        f"Lab store report — {store.path}",
+        ["key", "experiment", "backend", "trials", "accepted",
+         "Pr[accept]", "stderr", "Wilson 95%"],
+    )
+    from .engine import AcceptanceEstimate
+
+    for key in sorted(latest):
+        record = latest[key]
+        try:
+            label = ExperimentSpec.from_dict(record.spec).describe()
+        except (TypeError, ValueError):
+            label = "(unreadable spec)"
+        est = AcceptanceEstimate(
+            word_length=0,
+            trials=record.trials,
+            accepted=record.accepted,
+            backend=record.backend,
+            recognizer=record.spec.get("recognizer", "?"),
+        )
+        lo, hi = est.wilson95
+        table.add_row(
+            key[:10],
+            label,
+            record.backend,
+            record.trials,
+            record.accepted,
+            f"{est.probability:.4f}",
+            f"{est.stderr:.4f}",
+            f"[{lo:.4f}, {hi:.4f}]",
+        )
+    table.print()
+    if store.corrupt_lines:
+        print(f"(skipped {store.corrupt_lines} corrupt line(s))")
     return 0
 
 
@@ -246,6 +353,47 @@ def build_parser() -> argparse.ArgumentParser:
     qfa.add_argument("--primes", type=int, nargs="+", default=[5, 13, 31, 61])
     qfa.add_argument("--seed", type=int, default=0)
     qfa.set_defaults(func=_cmd_qfa)
+
+    import os
+
+    lab = sub.add_parser(
+        "lab", help="persistent experiment store with seed-exact deepening"
+    )
+    labsub = lab.add_subparsers(dest="lab_command", required=True)
+    store_default = os.environ.get("REPRO_LAB_STORE", ".repro-lab")
+
+    run = labsub.add_parser(
+        "run", help="run a spec through the store (cache / deepen / fresh)"
+    )
+    _add_word_args(run)
+    run.add_argument("--trials", type=int, default=1000)
+    run.add_argument(
+        "--backend",
+        default="batched",
+        choices=["sequential", "batched", "multiprocess"],
+        help="execution backend (does not affect counts or cache keys)",
+    )
+    run.add_argument(
+        "--recognizer",
+        default="quantum",
+        choices=["quantum", "classical-blockwise", "classical-full"],
+        help="which machine to sample",
+    )
+    run.add_argument("--store", default=store_default,
+                     help="store directory (env REPRO_LAB_STORE)")
+    run.set_defaults(func=_cmd_lab_run)
+
+    status = labsub.add_parser("status", help="store summary")
+    status.add_argument("--store", default=store_default,
+                        help="store directory (env REPRO_LAB_STORE)")
+    status.set_defaults(func=_cmd_lab_status)
+
+    report = labsub.add_parser(
+        "report", help="per-experiment table with stderr and Wilson 95% CI"
+    )
+    report.add_argument("--store", default=store_default,
+                        help="store directory (env REPRO_LAB_STORE)")
+    report.set_defaults(func=_cmd_lab_report)
 
     return parser
 

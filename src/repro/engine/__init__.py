@@ -24,6 +24,7 @@ from .api import (
     available_backends,
     get_backend,
     register_backend,
+    trial_seed_plan,
     validate_recognizer,
 )
 from .sequential import SequentialBackend
@@ -38,6 +39,7 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "trial_seed_plan",
     "validate_recognizer",
     "SequentialBackend",
     "BatchedDenseBackend",

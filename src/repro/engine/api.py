@@ -23,13 +23,15 @@ counts, and the batched/multiprocess backends are pure speedups.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Type, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, Union
 
 import numpy as np
 
-from ..rng import ensure_rng, spawn_seeds
+from ..analysis.bounds import binomial_stderr, wilson_interval
+from ..rng import RngLike, ensure_rng, spawn_seeds
 
 #: Recognizer names every backend understands (the *what* to sample;
 #: the backend is the *how*).  "quantum" is Theorem 3.4's machine,
@@ -43,6 +45,34 @@ RECOGNIZERS = ("quantum", "classical-blockwise", "classical-full")
 #: backend — the seeding contract holds call-for-call, not just
 #: call-by-call.
 DETERMINISTIC_RECOGNIZERS = frozenset({"classical-full"})
+
+
+def trial_seed_plan(rng: RngLike, trials: int) -> List[int]:
+    """The per-trial child seeds an unsharded single-word run would draw.
+
+    For a parent seed *rng*, every backend derives trial *i*'s child
+    generator from ``spawn_seeds(parent, trials)[i]`` — this function is
+    that list, exposed as a public API.  Two contracts hang off it:
+
+    * **sharding** — any contiguous slice ``plan[lo:hi]`` fed to a
+      backend's ``count_accepted_from_seeds`` runs exactly trials
+      ``lo..hi`` of the unsharded run (the multiprocess backend's
+      ``shard_trials`` path is built on this);
+    * **resumption** — because ``SeedSequence`` children depend only on
+      the parent entropy and the child index, ``trial_seed_plan(seed,
+      more)[done:]`` is the exact continuation of a run that stopped
+      after ``done`` trials: counts merged across the boundary are
+      identical to one fresh ``more``-trial run.  ``repro.lab`` deepens
+      cached experiments through this.
+
+    Deterministic recognizers (:data:`DETERMINISTIC_RECOGNIZERS`) never
+    consult their child generators, so for them the plan is a valid —
+    if unused — slicing vocabulary: feeding any slice of it still
+    produces the right counts.
+    """
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
+    return spawn_seeds(ensure_rng(rng), trials)
 
 
 def validate_recognizer(recognizer: str) -> str:
@@ -77,6 +107,20 @@ class AcceptanceEstimate:
     def probability(self) -> float:
         """Empirical acceptance frequency."""
         return self.accepted / self.trials
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of :attr:`probability` (plug-in binomial)."""
+        return binomial_stderr(self.accepted, self.trials)
+
+    @property
+    def wilson95(self) -> Tuple[float, float]:
+        """Wilson 95% score interval for the acceptance probability.
+
+        Stays informative at the boundary frequencies (0 or all trials
+        accepted), where :attr:`stderr` degenerates to zero.
+        """
+        return wilson_interval(self.accepted, self.trials)
 
     @property
     def trials_per_second(self) -> float:
@@ -192,8 +236,6 @@ class ExecutionEngine:
         recognizer: str = "quantum",
     ) -> AcceptanceEstimate:
         """Sample *trials* independent runs on one word."""
-        import time
-
         if trials <= 0:
             raise ValueError("trials must be positive")
         validate_recognizer(recognizer)
@@ -221,8 +263,6 @@ class ExecutionEngine:
         recognizer: str = "quantum",
     ) -> List[AcceptanceEstimate]:
         """Sample every word of a list; per-word seeds spawn in order."""
-        import time
-
         if trials <= 0:
             raise ValueError("trials must be positive")
         validate_recognizer(recognizer)

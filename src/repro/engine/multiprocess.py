@@ -135,6 +135,45 @@ class MultiprocessBackend(ExecutionBackend):
         except _pool_errors():
             return sum(_count_shard(shard) for shard in shards)
 
+    def count_accepted_from_seeds(
+        self,
+        word: str,
+        seeds: Sequence[int],
+        recognizer: str = "quantum",
+    ) -> int:
+        """Accepted count for explicit per-trial child seeds.
+
+        The seed list (typically a slice of
+        :func:`repro.engine.api.trial_seed_plan` — e.g. the continuation
+        of a partially-run experiment being deepened by ``repro.lab``)
+        is split into contiguous shards and fanned out exactly like the
+        ``shard_trials`` path, so the counts match the inner backend
+        run inline on the same seeds.
+        """
+        seeds = [int(s) for s in seeds]
+        workers = min(self._workers(len(seeds)), len(seeds))
+        if recognizer in DETERMINISTIC_RECOGNIZERS:
+            # The machine consults no randomness: one inline decision
+            # beats shipping unused seed lists to a pool.
+            workers = 1
+        if workers <= 1:
+            return self._inner_backend.count_accepted_from_seeds(
+                word, seeds, recognizer
+            )
+        bounds = np.linspace(0, len(seeds), workers + 1, dtype=int)
+        shards = [
+            (word, seeds[lo:hi], self.inner, recognizer)
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                return sum(pool.map(_count_shard, shards))
+        except _pool_errors():
+            return sum(_count_shard(shard) for shard in shards)
+
     def count_accepted_many(
         self,
         words: Sequence[str],

@@ -1,0 +1,42 @@
+"""repro.lab — a persistent experiment store with seed-exact resumption.
+
+The engine made acceptance experiments fast; the lab makes them
+*durable*.  Every result is keyed by a content hash of what determines
+its statistics (the word, the recognizer, the parent seed) and cached
+as a cumulative checkpoint in an append-only JSON-lines store, so:
+
+* re-running an unchanged experiment is a pure cache hit — zero engine
+  trials execute;
+* asking for *more* trials **deepens** the cached result: only the
+  missing trials run, continuing the unsharded run's exact per-trial
+  seed plan (:func:`repro.engine.trial_seed_plan`), and the merged
+  counts are identical — not approximately, identically — to one
+  fresh run at the full depth, on every backend.
+
+Layers:
+
+* :mod:`repro.lab.spec`  — :class:`ExperimentSpec` + content-hash keys;
+* :mod:`repro.lab.store` — :class:`ResultStore`, the durable
+  checkpoint log (atomic appends, corruption-tolerant reads, schema
+  versioning);
+* :mod:`repro.lab.orchestrator` — :class:`Orchestrator`, the
+  cache / deepen / fresh decision.
+
+Entry points: ``Orchestrator(store).run(spec)`` from code,
+``repro.analysis.acceptance_sweep(..., store=...)`` for sweeps, and
+``python -m repro lab run|status|report`` from the shell.
+"""
+
+from .spec import ExperimentSpec, WORD_FAMILIES
+from .store import LabRecord, ResultStore, SCHEMA_VERSION
+from .orchestrator import LabRunResult, Orchestrator
+
+__all__ = [
+    "ExperimentSpec",
+    "WORD_FAMILIES",
+    "LabRecord",
+    "ResultStore",
+    "SCHEMA_VERSION",
+    "LabRunResult",
+    "Orchestrator",
+]

@@ -1,0 +1,121 @@
+"""The orchestrator: cached, deepenable experiment execution.
+
+``Orchestrator.run(spec)`` is the lab's single entry point.  Three
+outcomes, decided against the store's checkpoint ladder for the spec's
+content key:
+
+* **cache** — a checkpoint at exactly ``spec.trials`` exists: the
+  stored counts are served with *zero* engine work;
+* **deepened** — a shallower checkpoint exists: only the missing
+  trials run, from the exact per-trial child seeds the unsharded fresh
+  run would have drawn (``trial_seed_plan(seed, trials)[done:]``), and
+  the counts merge seed-identically to one fresh ``trials``-trial run;
+* **fresh** — nothing stored: the full seed plan runs.
+
+Either way a new cumulative checkpoint is appended, so the store only
+ever grows deeper and every depth ever computed stays servable.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..engine.api import AcceptanceEstimate, get_backend, trial_seed_plan
+from .spec import ExperimentSpec
+from .store import LabRecord, ResultStore
+
+#: How a run was satisfied (provenance, surfaced by CLI and benchmarks).
+SOURCES = ("cache", "deepened", "fresh")
+
+
+@dataclass(frozen=True)
+class LabRunResult:
+    """An :class:`AcceptanceEstimate` plus its provenance."""
+
+    estimate: AcceptanceEstimate
+    source: str  # one of SOURCES
+    trials_executed: int  # engine trials actually run for this call
+    base_trials: int  # depth of the checkpoint this run extended
+    key: str
+
+    @property
+    def cached(self) -> bool:
+        return self.source == "cache"
+
+
+class Orchestrator:
+    """Runs :class:`ExperimentSpec`\\ s through a :class:`ResultStore`.
+
+    Accepts a store instance or a directory path.  Backend resolution
+    happens per run from ``spec.backend`` — the store is backend-blind
+    (the seeding contract makes counts backend-invariant), so one store
+    serves requests from every backend interchangeably.
+    """
+
+    def __init__(self, store: Union[ResultStore, str, Path]) -> None:
+        self.store = store if isinstance(store, ResultStore) else ResultStore(store)
+
+    def run(self, spec: ExperimentSpec) -> LabRunResult:
+        """Satisfy *spec* from the store, deepening or running as needed."""
+        key = spec.key
+        ladder = self.store.checkpoints(key)
+        for record in ladder:
+            if record.trials == spec.trials:
+                return LabRunResult(
+                    estimate=self._estimate(spec, record),
+                    source="cache",
+                    trials_executed=0,
+                    base_trials=record.trials,
+                    key=key,
+                )
+        base: Optional[LabRecord] = None
+        for record in ladder:
+            if record.trials < spec.trials:
+                base = record  # ladder is sorted: ends at deepest prefix
+        done = base.trials if base is not None else 0
+        # The continuation seeds: exactly what the unsharded fresh run
+        # would draw for trials done..trials (the slice contract).
+        seeds = trial_seed_plan(spec.seed, spec.trials)[done:]
+        backend = get_backend(spec.backend)
+        start = time.perf_counter()
+        accepted_new = backend.count_accepted_from_seeds(
+            spec.resolve_word(), seeds, spec.recognizer
+        )
+        elapsed = time.perf_counter() - start
+        accepted = accepted_new + (base.accepted if base is not None else 0)
+        record = LabRecord(
+            key=key,
+            spec=spec.to_dict(),
+            trials=spec.trials,
+            accepted=accepted,
+            backend=backend.name,
+            elapsed_s=elapsed + (base.elapsed_s if base is not None else 0.0),
+        )
+        self.store.append(record)
+        return LabRunResult(
+            estimate=self._estimate(spec, record),
+            source="deepened" if base is not None else "fresh",
+            trials_executed=len(seeds),
+            base_trials=done,
+            key=key,
+        )
+
+    @staticmethod
+    def _estimate(spec: ExperimentSpec, record: LabRecord) -> AcceptanceEstimate:
+        """Rebuild the engine-shaped estimate a record stands for.
+
+        ``backend`` reports the backend that *computed* the stored
+        counts (which, by the seeding contract, carries no statistical
+        information — it is provenance only).
+        """
+        return AcceptanceEstimate(
+            word_length=len(spec.resolve_word()),
+            trials=record.trials,
+            accepted=record.accepted,
+            backend=record.backend,
+            elapsed_s=record.elapsed_s,
+            recognizer=spec.recognizer,
+        )

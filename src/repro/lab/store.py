@@ -1,0 +1,243 @@
+"""Durable experiment results: an append-only JSON-lines checkpoint log.
+
+One :class:`ResultStore` owns a directory with a single
+``results.jsonl``.  Every line is one :class:`LabRecord` — a *cumulative
+checkpoint* of an experiment: "after ``trials`` trials of the run keyed
+``key``, ``accepted`` of them accepted".  The log is append-only, so a
+deepened experiment accumulates a ladder of checkpoints (1 000, 10 000,
+500 000, ...) and any rung can later serve — or seed the continuation
+of — a request at that depth.
+
+Durability properties:
+
+* **atomic appends** — each record is serialized to one line and
+  written with a single ``os.write`` on an ``O_APPEND`` descriptor,
+  under an advisory ``flock`` where the platform has one, so
+  concurrent writers interleave whole lines, never bytes;
+* **corruption tolerance** — the reader skips lines that are not valid
+  JSON or miss required fields (a torn final line from a crashed
+  writer, editor damage) and reports how many it skipped via
+  :attr:`ResultStore.corrupt_lines` instead of failing the load;
+* **schema versioning** — every line carries ``schema``; lines from a
+  *newer* schema than this code understands are skipped, not
+  misparsed, so old readers degrade gracefully against new writers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Version written into every record; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+#: Fields a line must carry to be a readable record.
+_REQUIRED = ("schema", "key", "spec", "trials", "accepted", "backend")
+
+
+@dataclass(frozen=True)
+class LabRecord:
+    """One cumulative checkpoint of one experiment."""
+
+    key: str
+    spec: Dict[str, Any]
+    trials: int
+    accepted: int
+    backend: str
+    elapsed_s: float = 0.0
+    schema: int = SCHEMA_VERSION
+
+    @property
+    def probability(self) -> float:
+        return self.accepted / self.trials
+
+    def to_line(self) -> str:
+        """One JSON line; ``allow_nan=False`` keeps the file parseable."""
+        return json.dumps(asdict(self), sort_keys=True, allow_nan=False) + "\n"
+
+    @classmethod
+    def from_line(cls, line: str) -> Optional["LabRecord"]:
+        """Parse one line; ``None`` for corrupt or foreign-schema lines."""
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(data, dict) or any(f not in data for f in _REQUIRED):
+            return None
+        if not isinstance(data["schema"], int) or data["schema"] > SCHEMA_VERSION:
+            return None
+        try:
+            record = cls(
+                key=str(data["key"]),
+                spec=dict(data["spec"]),
+                trials=int(data["trials"]),
+                accepted=int(data["accepted"]),
+                backend=str(data["backend"]),
+                elapsed_s=float(data.get("elapsed_s", 0.0)),
+                schema=int(data["schema"]),
+            )
+        except (TypeError, ValueError):
+            return None
+        # Range checks: a parseable line with impossible counts is just
+        # as corrupt as a torn one, and consumers (Wilson intervals,
+        # deepening arithmetic) must never see it.
+        if record.trials <= 0 or not 0 <= record.accepted <= record.trials:
+            return None
+        return record
+
+
+def _flock(fd: int, lock: bool) -> None:
+    """Advisory whole-file lock; a no-op where ``fcntl`` is missing."""
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX
+        return
+    fcntl.flock(fd, fcntl.LOCK_EX if lock else fcntl.LOCK_UN)
+
+
+class _StoreLock:
+    """Mutual exclusion between writers via a sidecar lock file.
+
+    The lock lives in ``results.jsonl.lock``, *not* the data file:
+    :meth:`ResultStore.compact` replaces the data file's inode, so a
+    lock taken on the data file itself would leave a window where an
+    appender holds the old inode while the compactor publishes the new
+    one — and the append would vanish.  The sidecar is never replaced,
+    so every writer serializes on the same inode forever.
+    """
+
+    def __init__(self, data_path: Path) -> None:
+        self._path = data_path.with_name(data_path.name + ".lock")
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_StoreLock":
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd = os.open(self._path, os.O_WRONLY | os.O_CREAT, 0o644)
+        _flock(self._fd, True)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._fd is not None
+        try:
+            _flock(self._fd, False)
+        finally:
+            os.close(self._fd)
+            self._fd = None
+
+
+@dataclass
+class ResultStore:
+    """JSON-lines store of :class:`LabRecord` checkpoints, keyed by spec.
+
+    Construct with a directory path (created on demand).  Reads are
+    full-file scans — experiment logs are small (one line per
+    run/deepening, not per trial) and a scan per orchestrator call
+    keeps the on-disk format trivially recoverable.
+    """
+
+    root: Union[str, Path]
+    corrupt_lines: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    @property
+    def path(self) -> Path:
+        """The underlying JSON-lines file."""
+        return Path(self.root) / "results.jsonl"
+
+    def append(self, record: LabRecord) -> None:
+        """Durably append one checkpoint (atomic at line granularity).
+
+        The data file is opened *inside* the store lock so an append
+        can never land on an inode :meth:`compact` is about to retire.
+        """
+        payload = record.to_line().encode("utf-8")
+        with _StoreLock(self.path):
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    def load(self) -> List[LabRecord]:
+        """All readable checkpoints, in append order.
+
+        Unreadable lines (torn writes, foreign schemas, hand damage)
+        are counted in :attr:`corrupt_lines` and skipped.
+        """
+        self.corrupt_lines = 0
+        if not self.path.exists():
+            return []
+        records: List[LabRecord] = []
+        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                record = LabRecord.from_line(line)
+                if record is None:
+                    self.corrupt_lines += 1
+                else:
+                    records.append(record)
+        return records
+
+    def checkpoints(self, key: str) -> List[LabRecord]:
+        """This key's checkpoint ladder, shallowest first.
+
+        When the log holds several records at the same depth (a
+        re-computed checkpoint), the latest append wins.
+        """
+        by_trials: Dict[int, LabRecord] = {}
+        for record in self.load():
+            if record.key == key:
+                by_trials[record.trials] = record
+        return [by_trials[t] for t in sorted(by_trials)]
+
+    def deepest(self, key: str) -> Optional[LabRecord]:
+        """The deepest checkpoint for *key*, or ``None``."""
+        ladder = self.checkpoints(key)
+        return ladder[-1] if ladder else None
+
+    def latest_by_key(self) -> Dict[str, LabRecord]:
+        """Deepest checkpoint per experiment, for status/report views."""
+        deepest: Dict[str, LabRecord] = {}
+        for record in self.load():
+            held = deepest.get(record.key)
+            if held is None or record.trials >= held.trials:
+                deepest[record.key] = record
+        return deepest
+
+    def compact(self) -> int:
+        """Rewrite the log atomically, dropping unreadable lines.
+
+        Keeps every (key, trials) checkpoint — the deepening ladder is
+        load-bearing — but collapses duplicate depths to the latest
+        append.  Returns the number of lines removed.  The rewrite goes
+        through a temp file + ``os.replace`` so a crash mid-compaction
+        leaves the original log intact.  Runs under the store lock so
+        concurrent appends either land before the snapshot (and are
+        kept) or wait for the new inode (and are never lost).
+        """
+        with _StoreLock(self.path):
+            records = self.load()
+            kept: Dict[tuple, LabRecord] = {}
+            for record in records:
+                kept[(record.key, record.trials)] = record
+            before = 0
+            if self.path.exists():
+                with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
+                    before = sum(1 for line in fh if line.strip())
+            ordered = sorted(kept.values(), key=lambda r: (r.key, r.trials))
+            tmp = self.path.with_suffix(".jsonl.tmp")
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for record in ordered:
+                    fh.write(record.to_line())
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            return before - len(ordered)

@@ -17,7 +17,12 @@ from repro.analysis import (
     space_needed_for_configurations,
     sweep,
 )
-from repro.analysis.bounds import doubling_exponent, envelope_is_stable
+from repro.analysis.bounds import (
+    binomial_stderr,
+    doubling_exponent,
+    envelope_is_stable,
+    wilson_interval,
+)
 from repro.machines import copy_machine, disjointness_machine, mod_counter_machine
 
 
@@ -107,6 +112,45 @@ class TestTable:
         t = Table("f", ["v"])
         t.add_row(0.00001234)
         assert "e-" in t.render()
+
+
+class TestProportionUncertainty:
+    def test_stderr_half(self):
+        assert binomial_stderr(50, 100) == pytest.approx(0.05)
+
+    def test_stderr_degenerates_at_boundaries(self):
+        assert binomial_stderr(0, 100) == 0.0
+        assert binomial_stderr(100, 100) == 0.0
+
+    def test_stderr_validates(self):
+        with pytest.raises(ValueError):
+            binomial_stderr(1, 0)
+        with pytest.raises(ValueError):
+            binomial_stderr(5, 4)
+
+    def test_wilson_contains_point_estimate(self):
+        lo, hi = wilson_interval(37, 100)
+        assert lo < 0.37 < hi
+        assert 0.0 <= lo < hi <= 1.0
+
+    def test_wilson_stays_informative_at_boundaries(self):
+        """Unlike Wald, the interval has width even at p_hat = 0 or 1 —
+        the regime the quantum recognizer's member words live in."""
+        lo, hi = wilson_interval(100, 100)
+        assert lo < 1.0 and hi == 1.0
+        lo0, hi0 = wilson_interval(0, 100)
+        assert lo0 == pytest.approx(0.0, abs=1e-12) and hi0 > 1e-3
+
+    def test_wilson_narrows_with_trials(self):
+        wide = wilson_interval(5, 10)
+        narrow = wilson_interval(500, 1000)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_wilson_validates(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(0, 10, z=0.0)
 
 
 class TestSweep:

@@ -1,0 +1,78 @@
+"""trial_seed_plan: the public slice contract the lab resumes through."""
+
+import numpy as np
+import pytest
+
+from repro.core import intersecting_nonmember
+from repro.engine import ExecutionEngine, get_backend, trial_seed_plan
+from repro.rng import ensure_rng, spawn_seeds
+
+
+@pytest.fixture(scope="module")
+def word():
+    return intersecting_nonmember(1, 2, np.random.default_rng(1))
+
+
+class TestPlan:
+    def test_matches_spawn_seeds(self):
+        assert trial_seed_plan(9, 32) == spawn_seeds(ensure_rng(9), 32)
+
+    def test_prefix_stability(self):
+        """A longer plan begins with the shorter plan — resumability."""
+        assert trial_seed_plan(9, 100)[:32] == trial_seed_plan(9, 32)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            trial_seed_plan(9, -1)
+
+    def test_empty_plan(self):
+        assert trial_seed_plan(9, 0) == []
+
+    @pytest.mark.parametrize("backend", ["sequential", "batched"])
+    @pytest.mark.parametrize(
+        "recognizer", ["quantum", "classical-blockwise", "classical-full"]
+    )
+    def test_sliced_plan_reproduces_unsharded_counts(self, word, backend, recognizer):
+        plan = trial_seed_plan(9, 90)
+        b = get_backend(backend)
+        whole = b.count_accepted_from_seeds(word, plan, recognizer)
+        split = sum(
+            b.count_accepted_from_seeds(word, plan[lo:hi], recognizer)
+            for lo, hi in [(0, 17), (17, 60), (60, 90)]
+        )
+        direct = ExecutionEngine(backend).estimate_acceptance(
+            word, 90, rng=9, recognizer=recognizer
+        )
+        assert whole == split == direct.accepted
+
+
+class TestMultiprocessFromSeeds:
+    def test_matches_inner_backend(self, word):
+        plan = trial_seed_plan(9, 60)
+        mp = get_backend("multiprocess", processes=2)
+        inline = get_backend("batched").count_accepted_from_seeds(
+            word, plan, "quantum"
+        )
+        assert mp.count_accepted_from_seeds(word, plan, "quantum") == inline
+
+    def test_single_worker_runs_inline(self, word):
+        plan = trial_seed_plan(9, 40)
+        mp = get_backend("multiprocess", processes=1)
+        inline = get_backend("batched").count_accepted_from_seeds(
+            word, plan, "quantum"
+        )
+        assert mp.count_accepted_from_seeds(word, plan, "quantum") == inline
+
+    def test_deterministic_recognizer_skips_the_pool(self, word, monkeypatch):
+        import repro.engine.multiprocess as mp_mod
+
+        def no_pool(*a, **kw):  # pragma: no cover - must not be reached
+            raise AssertionError("deterministic recognizer reached the pool")
+
+        monkeypatch.setattr(
+            "concurrent.futures.ProcessPoolExecutor", no_pool
+        )
+        mp = get_backend("multiprocess", processes=4)
+        plan = trial_seed_plan(9, 40)
+        count = mp.count_accepted_from_seeds(word, plan, "classical-full")
+        assert count in (0, 40)

@@ -1,0 +1,54 @@
+"""Resume-equivalence (the lab's headline property), hypothesis-driven.
+
+Deepening a cached run in *arbitrary* increments must produce accepted
+counts identical to one fresh unsharded run at each cumulative depth —
+for every recognizer.  This is the ``trial_seed_plan`` slice contract
+end to end: child seeds depend only on (parent seed, trial index), so
+a ladder of resumptions replays the exact draw order of a single run.
+"""
+
+import tempfile
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import ExecutionEngine
+from repro.lab import ExperimentSpec, Orchestrator
+
+#: One reference engine; the orchestrator's counts must match it at
+#: every depth regardless of how the depth was reached.
+_REFERENCE = ExecutionEngine("batched")
+
+_INCREMENTS = st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=4)
+_RECOGNIZERS = st.sampled_from(
+    ["quantum", "classical-blockwise", "classical-full"]
+)
+_SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(increments=_INCREMENTS, recognizer=_RECOGNIZERS, seed=_SEEDS)
+def test_arbitrary_increments_equal_one_fresh_run(increments, recognizer, seed):
+    spec = ExperimentSpec(
+        family="intersecting", k=1, t=2, word_seed=1, seed=seed,
+        recognizer=recognizer, trials=increments[0],
+    )
+    word = spec.resolve_word()
+    with tempfile.TemporaryDirectory() as tmp:
+        orchestrator = Orchestrator(tmp)
+        total = 0
+        for step in increments:
+            total += step
+            result = orchestrator.run(spec.with_trials(total))
+            fresh = _REFERENCE.estimate_acceptance(
+                word, total, rng=seed, recognizer=recognizer
+            )
+            assert result.estimate.accepted == fresh.accepted, (
+                f"deepening drifted at depth {total} "
+                f"(increments so far {increments}, recognizer {recognizer})"
+            )
+            # Only the increment ran; earlier trials came from the store.
+            assert result.trials_executed == step

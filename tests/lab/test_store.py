@@ -1,0 +1,143 @@
+"""ResultStore durability: round-trip, corruption, concurrency."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.lab import SCHEMA_VERSION, LabRecord, ResultStore
+
+
+def _record(key="k1", trials=100, accepted=None, backend="batched"):
+    return LabRecord(
+        key=key,
+        spec={"family": "member", "k": 1},
+        trials=trials,
+        accepted=min(trials, 40) if accepted is None else accepted,
+        backend=backend,
+        elapsed_s=0.5,
+    )
+
+
+class TestRoundTrip:
+    def test_append_load(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append(_record())
+        (loaded,) = store.load()
+        assert loaded == _record()
+        assert store.corrupt_lines == 0
+
+    def test_empty_store_loads_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "missing")
+        assert store.load() == []
+
+    def test_checkpoints_sorted_and_deduped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_record(trials=500, accepted=201))
+        store.append(_record(trials=100, accepted=40))
+        store.append(_record(trials=100, accepted=41))  # recompute: latest wins
+        ladder = store.checkpoints("k1")
+        assert [r.trials for r in ladder] == [100, 500]
+        assert ladder[0].accepted == 41
+        assert store.deepest("k1").trials == 500
+        assert store.deepest("nope") is None
+
+    def test_latest_by_key(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_record(key="a", trials=10))
+        store.append(_record(key="a", trials=50))
+        store.append(_record(key="b", trials=20))
+        latest = store.latest_by_key()
+        assert latest["a"].trials == 50 and latest["b"].trials == 20
+
+    def test_line_rejects_nan(self, tmp_path):
+        bad = LabRecord(
+            key="k", spec={}, trials=1, accepted=1, backend="batched",
+            elapsed_s=float("nan"),
+        )
+        with pytest.raises(ValueError):
+            bad.to_line()
+
+
+class TestCorruption:
+    def test_garbage_lines_are_skipped_and_counted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_record(trials=100))
+        with open(store.path, "a") as fh:
+            fh.write("not json at all\n")
+            fh.write('{"schema": 1, "key": "k1"}\n')  # missing fields
+            fh.write('{"truncat\n')  # torn write
+        store.append(_record(trials=200))
+        records = store.load()
+        assert [r.trials for r in records] == [100, 200]
+        assert store.corrupt_lines == 3
+
+    def test_impossible_counts_are_corruption(self, tmp_path):
+        """Parseable lines with trials <= 0 or accepted outside
+        [0, trials] must never reach consumers (intervals, deepening)."""
+        store = ResultStore(tmp_path)
+        store.append(_record(trials=100))
+        with open(store.path, "a") as fh:
+            for bad in (
+                {"trials": 0, "accepted": 0},
+                {"trials": -5, "accepted": 0},
+                {"trials": 10, "accepted": 11},
+                {"trials": 10, "accepted": -1},
+            ):
+                line = json.loads(_record().to_line())
+                line.update(bad)
+                fh.write(json.dumps(line) + "\n")
+        assert [r.trials for r in store.load()] == [100]
+        assert store.corrupt_lines == 4
+
+    def test_newer_schema_lines_are_skipped_not_misparsed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        future = json.loads(_record().to_line())
+        future["schema"] = SCHEMA_VERSION + 1
+        future["layout"] = "from-the-future"
+        with open(store.path.parent / "results.jsonl", "w") as fh:
+            pass
+        store.append(_record(trials=100))
+        with open(store.path, "a") as fh:
+            fh.write(json.dumps(future) + "\n")
+        assert [r.trials for r in store.load()] == [100]
+        assert store.corrupt_lines == 1
+
+    def test_compact_drops_corruption_keeps_ladder(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_record(trials=100))
+        store.append(_record(trials=500))
+        store.append(_record(trials=100, accepted=41))
+        with open(store.path, "a") as fh:
+            fh.write("garbage\n")
+        removed = store.compact()
+        assert removed == 2  # the duplicate depth and the garbage line
+        ladder = store.checkpoints("k1")
+        assert [r.trials for r in ladder] == [100, 500]
+        assert ladder[0].accepted == 41
+        assert store.corrupt_lines == 0
+
+    def test_compact_empty_store(self, tmp_path):
+        store = ResultStore(tmp_path / "fresh")
+        assert store.compact() == 0
+        assert store.load() == []
+
+
+class TestConcurrency:
+    def test_parallel_appends_interleave_whole_lines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        writers, per_writer = 8, 25
+
+        def write(w):
+            local = ResultStore(tmp_path)  # own handle, like another process
+            for i in range(per_writer):
+                local.append(_record(key=f"w{w}", trials=i + 1, accepted=i))
+
+        with ThreadPoolExecutor(max_workers=writers) as pool:
+            list(pool.map(write, range(writers)))
+        records = store.load()
+        assert store.corrupt_lines == 0
+        assert len(records) == writers * per_writer
+        for w in range(writers):
+            ladder = store.checkpoints(f"w{w}")
+            assert [r.trials for r in ladder] == list(range(1, per_writer + 1))

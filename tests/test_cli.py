@@ -23,6 +23,15 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SPAA 2006" in out and "L_DISJ" in out
 
+    def test_info_lists_backends_and_recognizers(self, capsys):
+        """The engine surface is discoverable from the CLI."""
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for backend in ("sequential", "batched", "multiprocess"):
+            assert backend in out
+        for recognizer in ("quantum", "classical-blockwise", "classical-full"):
+            assert recognizer in out
+
     def test_recognize_member(self, capsys):
         assert main(["recognize", "--k", "1", "--kind", "member"]) == 0
         out = capsys.readouterr().out
@@ -108,3 +117,70 @@ class TestCommands:
         assert main(["sample", "--k", "1", "--shard-trials"]) == 2
         err = capsys.readouterr().err
         assert "--backend multiprocess" in err
+
+    def test_sample_reports_uncertainty(self, capsys):
+        assert main(["sample", "--k", "1", "--trials", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "stderr = " in out and "Wilson 95% CI [" in out
+
+
+class TestLabCommands:
+    def _run(self, tmp_path, *extra):
+        return main(
+            ["lab", "run", "--k", "1", "--kind", "intersecting", "--t", "2",
+             "--trials", "40", "--store", str(tmp_path / "store"), *extra]
+        )
+
+    def test_run_fresh_then_pure_cache_hit(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        first = capsys.readouterr().out
+        assert "source=fresh" in first and "trials_executed=40" in first
+        assert "Wilson 95% CI [" in first
+        assert self._run(tmp_path) == 0
+        second = capsys.readouterr().out
+        assert "source=cache" in second and "trials_executed=0" in second
+
+    def test_run_deepens_cached_result(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["lab", "run", "--k", "1", "--kind", "intersecting", "--t", "2",
+                 "--trials", "100", "--store", str(tmp_path / "store")]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "source=deepened" in out
+        assert "trials_executed=60" in out and "base_trials=40" in out
+        assert "trials=100" in out
+
+    def test_status_and_report(self, tmp_path, capsys):
+        assert self._run(tmp_path) == 0
+        capsys.readouterr()
+        assert main(["lab", "status", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "experiments: 1" in out and "checkpoints: 1" in out
+        assert main(["lab", "report", "--store", str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "intersecting(k=1,t=2)" in out and "Wilson 95%" in out
+
+    def test_run_rejects_bad_arguments_gracefully(self, tmp_path, capsys):
+        assert (
+            main(
+                ["lab", "run", "--k", "1", "--trials", "0",
+                 "--store", str(tmp_path / "store")]
+            )
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "lab run:" in err and "trials" in err
+
+    def test_lab_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lab"])
+
+    def test_store_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LAB_STORE", str(tmp_path / "envstore"))
+        args = build_parser().parse_args(["lab", "status"])
+        assert args.store == str(tmp_path / "envstore")
