@@ -117,6 +117,49 @@ def _bench_trials() -> int:
     return int(os.environ.get("REPRO_BENCH_TRIALS", "1000"))
 
 
+#: Append-only per-run history next to the record, so the perf
+#: trajectory (speedups, regressions) is trackable across PRs instead
+#: of each PR overwriting the previous numbers.
+ENGINE_HISTORY = ENGINE_RECORD.with_name("BENCH_history.jsonl")
+
+
+def _append_history(record: dict) -> None:
+    """One compact JSON line per full bench run, appended forever."""
+    import subprocess
+
+    try:
+        commit = (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                cwd=ENGINE_RECORD.parent,
+                timeout=10,
+            ).stdout.strip()
+            or None
+        )
+    except Exception:
+        commit = None
+    entry = {
+        "timestamp": round(time.time(), 1),
+        "commit": commit,
+        "trials": record["trials"],
+        "batched_speedup_over_sequential": {
+            recognizer: section["batched_speedup_over_sequential"]
+            for recognizer, section in record["recognizers"].items()
+        },
+        "sharedmem_speedup_over_sequential": record["sharedmem"][
+            "speedup_over_sequential"
+        ],
+        "chunked_slowdown_over_unchunked": record["chunked"][
+            "slowdown_over_unchunked"
+        ],
+        "lab_deepen_to_2x_seconds": record["lab"]["deepen_to_2x_seconds"],
+    }
+    with open(ENGINE_HISTORY, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True, allow_nan=False) + "\n")
+
+
 def _write_engine_record(record: dict, smoke: bool) -> None:
     """Serialize the throughput record, rejecting non-finite numbers.
 
@@ -124,11 +167,12 @@ def _write_engine_record(record: dict, smoke: bool) -> None:
     computed from a sub-resolution timing) into a test failure instead
     of an unparseable ``Infinity`` literal in ``BENCH_engine.json``.
     Smoke runs validate the serialization but keep the tracked record's
-    full-size numbers.
+    (and the history log's) full-size numbers.
     """
     payload = json.dumps(record, indent=2, allow_nan=False) + "\n"
     if not smoke:
         ENGINE_RECORD.write_text(payload)
+        _append_history(record)
 
 
 def test_engine_backend_throughput():
@@ -223,6 +267,69 @@ def test_engine_backend_throughput():
     record["batched_speedup_over_sequential"] = quantum[
         "batched_speedup_over_sequential"
     ]
+
+    # The sharedmem backend: one word's trials fanned out through
+    # shared memory.  Gates: counts seed-identical to batched (always)
+    # and a real speedup over the sequential reference (full runs only
+    # — at smoke sizes the pool start-up dominates).
+    start = time.perf_counter()
+    shm_est = ExecutionEngine("sharedmem", processes=2).estimate_acceptance(
+        words[0], trials, rng=2006
+    )
+    shm_s = time.perf_counter() - start
+    start = time.perf_counter()
+    seq_est = ExecutionEngine("sequential").estimate_acceptance(
+        words[0], trials, rng=2006
+    )
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    batched_est = ExecutionEngine("batched").estimate_acceptance(
+        words[0], trials, rng=2006
+    )
+    batched_s = time.perf_counter() - start
+    assert shm_est.accepted == batched_est.accepted == seq_est.accepted
+    record["sharedmem"] = {
+        "trials": trials,
+        "seconds": round(shm_s, 4),
+        "trials_per_second": round(trials / shm_s, 1),
+        "accepted": shm_est.accepted,
+        "matches_batched": shm_est.accepted == batched_est.accepted,
+        "speedup_over_sequential": round(seq_s / shm_s, 1),
+    }
+    if not smoke:
+        assert seq_s / shm_s >= 2.0, (
+            f"sharedmem speedup only {seq_s / shm_s:.1f}x over sequential "
+            "(gate 2x)"
+        )
+
+    # Chunked (memory-bounded) vs unchunked batched execution.  Gates:
+    # byte-identical counts (always) and bounded tiling overhead (full
+    # runs only).
+    budget = 64 * 1024
+    # The unchunked reference is the batched run the sharedmem parity
+    # check just timed — same word, trials and seed, no need to re-run.
+    unchunked, unchunked_s = batched_est, batched_s
+    start = time.perf_counter()
+    chunked = ExecutionEngine(
+        "batched", max_batch_bytes=budget
+    ).estimate_acceptance(words[0], trials, rng=2006)
+    chunked_s = time.perf_counter() - start
+    assert chunked.accepted == unchunked.accepted, "chunked counts drifted"
+    slowdown = chunked_s / unchunked_s
+    record["chunked"] = {
+        "max_batch_bytes": budget,
+        "trials": trials,
+        "seconds": round(chunked_s, 4),
+        "unchunked_seconds": round(unchunked_s, 4),
+        "accepted": chunked.accepted,
+        "matches_unchunked": chunked.accepted == unchunked.accepted,
+        "slowdown_over_unchunked": round(slowdown, 2),
+    }
+    if not smoke:
+        assert slowdown <= 3.0, (
+            f"chunked execution {slowdown:.2f}x slower than unchunked "
+            "(gate 3x)"
+        )
 
     # The lab store: the same experiment run cold (executes everything),
     # warm (pure cache hit, zero engine trials) and deepened to 2x

@@ -45,6 +45,7 @@ def acceptance_sweep(
     backend: Any = "batched",
     recognizer: str = "quantum",
     store: Any = None,
+    max_batch_bytes: Any = None,
 ) -> List[Tuple[Any, Any]]:
     """Sampled acceptance probability for each ``(label, word)`` pair.
 
@@ -62,10 +63,21 @@ def acceptance_sweep(
     seed — each word's parent seed is the very child seed ``run_many``
     would have spawned for it — so adding ``store=`` never changes a
     sweep's statistics, only how much of it re-executes.
+
+    *max_batch_bytes* bounds the dense working set of every run (see
+    :mod:`repro.core.tiling`); tiled counts are byte-identical, so it
+    too never changes a sweep's statistics.  It only applies when
+    *backend* is a registry name — a configured backend instance
+    already carries its own budget.
     """
     from ..engine import ExecutionEngine
 
     pairs = list(labelled_words)
+    if max_batch_bytes is not None and not isinstance(backend, str):
+        raise ValueError(
+            "max_batch_bytes= requires backend to be a registry name (a "
+            "configured backend instance already carries its own budget)"
+        )
     if store is not None:
         from ..lab import ExperimentSpec, Orchestrator
         from ..rng import ensure_rng, spawn_seeds
@@ -79,7 +91,7 @@ def acceptance_sweep(
                 "record names, not configured backend instances)"
             )
         backend_name = backend
-        orchestrator = Orchestrator(store)
+        orchestrator = Orchestrator(store, max_batch_bytes=max_batch_bytes)
         word_seeds = spawn_seeds(ensure_rng(rng), len(pairs))
         results = []
         for (label, word), seed in zip(pairs, word_seeds):
@@ -94,7 +106,8 @@ def acceptance_sweep(
             )
             results.append((label, run.estimate))
         return results
-    estimates = ExecutionEngine(backend).run_many(
+    options = {} if max_batch_bytes is None else {"max_batch_bytes": max_batch_bytes}
+    estimates = ExecutionEngine(backend, **options).run_many(
         [word for _, word in pairs], trials, rng=rng, recognizer=recognizer
     )
     return [(label, est) for (label, _), est in zip(pairs, estimates)]

@@ -42,6 +42,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "\n"
         f"Engine backends (--backend): {', '.join(available_backends())}\n"
         f"Recognizers (--recognizer):  {', '.join(RECOGNIZERS)}\n"
+        "Memory budget (--memory-budget): tile dense trial batches to a\n"
+        "  byte cap (e.g. 256M); counts are identical to unbudgeted runs\n"
         "\n"
         "See DESIGN.md for the system inventory, EXPERIMENTS.md for the\n"
         "paper-vs-measured record, benchmarks/ for the regeneration harness."
@@ -100,6 +102,33 @@ def _make_word(args: argparse.Namespace) -> str:
     return malformed_nonmember(args.k, args.kind, np.random.default_rng(args.seed))
 
 
+def _parse_memory_budget(text: Optional[str]) -> Optional[int]:
+    """``--memory-budget`` values: plain bytes or K/M/G-suffixed sizes.
+
+    Accepts e.g. ``65536``, ``64K``, ``256M``, ``2G`` (suffixes are
+    binary multiples; an optional trailing ``B``/``iB`` is tolerated).
+    Returns bytes, or ``None`` when *text* is ``None``.
+    """
+    if text is None:
+        return None
+    raw = text.strip()
+    cleaned = raw.upper().removesuffix("IB").removesuffix("B")
+    scale = 1
+    if cleaned and cleaned[-1] in "KMG":
+        scale = 1 << {"K": 10, "M": 20, "G": 30}[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        budget = int(cleaned) * scale
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid memory budget {raw!r}; use bytes or K/M/G sizes "
+            "like 64M"
+        ) from None
+    if budget <= 0:
+        raise argparse.ArgumentTypeError("memory budget must be positive")
+    return budget
+
+
 def _cmd_sample(args: argparse.Namespace) -> int:
     from .engine import ExecutionEngine
     from .core import in_ldisj
@@ -112,6 +141,8 @@ def _cmd_sample(args: argparse.Namespace) -> int:
         return 2
     word = _make_word(args)
     options = {"shard_trials": True} if args.shard_trials else {}
+    if args.memory_budget is not None:
+        options["max_batch_bytes"] = args.memory_budget
     engine = ExecutionEngine(args.backend, **options)
     est = engine.estimate_acceptance(
         word, args.trials, rng=args.seed, recognizer=args.recognizer
@@ -156,7 +187,7 @@ def _cmd_lab_run(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"lab run: {exc}", file=sys.stderr)
         return 2
-    result = Orchestrator(args.store).run(spec)
+    result = Orchestrator(args.store, max_batch_bytes=args.memory_budget).run(spec)
     print(f"key={result.key[:16]}  {spec.describe()}  store={args.store}")
     print(
         f"source={result.source}  trials_executed={result.trials_executed}  "
@@ -170,12 +201,12 @@ def _cmd_lab_status(args: argparse.Namespace) -> int:
     from .lab import ResultStore
 
     store = ResultStore(args.store)
-    checkpoints = store.load()
-    latest = store.latest_by_key()
+    snapshot = store.scan()
+    latest = store.latest_by_key(snapshot.records)
     print(f"store: {store.path}")
     print(
-        f"experiments: {len(latest)}  checkpoints: {len(checkpoints)}  "
-        f"corrupt lines skipped: {store.corrupt_lines}"
+        f"experiments: {len(latest)}  checkpoints: {len(snapshot.records)}  "
+        f"corrupt lines skipped: {snapshot.corrupt_lines}"
     )
     print(f"stored trials (deepest per experiment): "
           f"{sum(r.trials for r in latest.values())}")
@@ -187,7 +218,8 @@ def _cmd_lab_report(args: argparse.Namespace) -> int:
     from .lab import ExperimentSpec, ResultStore
 
     store = ResultStore(args.store)
-    latest = store.latest_by_key()
+    snapshot = store.scan()
+    latest = store.latest_by_key(snapshot.records)
     table = Table(
         f"Lab store report — {store.path}",
         ["key", "experiment", "backend", "trials", "accepted",
@@ -220,8 +252,8 @@ def _cmd_lab_report(args: argparse.Namespace) -> int:
             f"[{lo:.4f}, {hi:.4f}]",
         )
     table.print()
-    if store.corrupt_lines:
-        print(f"(skipped {store.corrupt_lines} corrupt line(s))")
+    if snapshot.corrupt_lines:
+        print(f"(skipped {snapshot.corrupt_lines} corrupt line(s))")
     return 0
 
 
@@ -317,8 +349,16 @@ def build_parser() -> argparse.ArgumentParser:
     samp.add_argument(
         "--backend",
         default="batched",
-        choices=["sequential", "batched", "multiprocess"],
+        choices=["sequential", "batched", "multiprocess", "sharedmem"],
         help="execution backend",
+    )
+    samp.add_argument(
+        "--memory-budget",
+        type=_parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help="tile dense trial batches to this working-set cap "
+        "(e.g. 64M, 2G); counts are identical to unbudgeted runs",
     )
     samp.add_argument(
         "--recognizer",
@@ -370,8 +410,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend",
         default="batched",
-        choices=["sequential", "batched", "multiprocess"],
+        choices=["sequential", "batched", "multiprocess", "sharedmem"],
         help="execution backend (does not affect counts or cache keys)",
+    )
+    run.add_argument(
+        "--memory-budget",
+        type=_parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help="tile dense trial batches to this working-set cap "
+        "(e.g. 64M, 2G); neither counts nor cache keys change",
     )
     run.add_argument(
         "--recognizer",

@@ -38,6 +38,7 @@ from .a1_format import A1FormatCheck
 from .a2_fingerprint import A2FingerprintCheck, a2_passes_at_points
 from .language import parse_condition_i
 from .structure import BlockStreamParser, block_type, round_index
+from .tiling import resolve_chunk_trials, tile_bounds
 
 
 class _BlockwiseCore(OnlineAlgorithm):
@@ -239,11 +240,24 @@ def full_storage_accepts(word: str) -> bool:
     return consistent and not np.bitwise_and(x, y).any()
 
 
+def _decide_blockwise_tile(
+    k: int, blocks: Sequence[str], p: int, seeds: Sequence[int]
+) -> np.ndarray:
+    """A2 verdicts for one tile of trials, from explicit child seeds."""
+    ts = np.empty(len(seeds), dtype=np.int64)
+    for i, seed in enumerate(seeds):
+        (r1,) = spawn(np.random.default_rng(seed), 1)
+        ts[i] = r1.integers(0, p)
+    return a2_passes_at_points(k, list(blocks), ts)
+
+
 def sample_blockwise_acceptance_batch(
     word: str,
     trials: int,
     rng=None,
     trial_seeds: Optional[Sequence[int]] = None,
+    max_batch_bytes: Optional[int] = None,
+    chunk_trials: Optional[int] = None,
 ) -> np.ndarray:
     """Per-trial accept decisions of Proposition 3.7's machine, batched.
 
@@ -255,9 +269,14 @@ def sample_blockwise_acceptance_batch(
     are computed once and broadcast.  *trial_seeds* (one child seed per
     trial, as :func:`repro.rng.spawn_seeds` would produce) overrides the
     spawn so shards of one word's trials can run in other processes.
-    Returns a boolean array of length *trials*.
+    *max_batch_bytes* / *chunk_trials* tile the trials into contiguous
+    chunks decided sequentially with byte-identical counts (see
+    :mod:`repro.core.tiling`).  Returns a boolean array of length
+    *trials*.
     """
     seeds = resolve_trial_seeds(trials, rng, trial_seeds)
+    if trials == 0:
+        return np.zeros(0, dtype=bool)
     parsed = parse_condition_i(word)
     if parsed is None:
         # A1 rejects deterministically; no per-trial randomness matters.
@@ -268,11 +287,16 @@ def sample_blockwise_acceptance_batch(
         # can never flip the (all-False) outcome — skip drawing them.
         return np.zeros(trials, dtype=bool)
     p = fingerprint_prime(k)
-    ts = np.empty(trials, dtype=np.int64)
-    for i, seed in enumerate(seeds):
-        (r1,) = spawn(np.random.default_rng(seed), 1)
-        ts[i] = r1.integers(0, p)
-    return a2_passes_at_points(k, blocks, ts)
+    # Working set per trial: the ts array plus A2's per-distinct-block
+    # fingerprint sweeps and verdict masks.
+    per_trial = 24 + 8 * len(set(blocks))
+    tile = resolve_chunk_trials(trials, max_batch_bytes, chunk_trials, per_trial)
+    if tile >= trials:
+        return _decide_blockwise_tile(k, blocks, p, seeds)
+    out = np.empty(trials, dtype=bool)
+    for lo, hi in tile_bounds(trials, tile):
+        out[lo:hi] = _decide_blockwise_tile(k, blocks, p, seeds[lo:hi])
+    return out
 
 
 def sample_full_storage_acceptance_batch(
@@ -280,6 +304,8 @@ def sample_full_storage_acceptance_batch(
     trials: int,
     rng=None,
     trial_seeds: Optional[Sequence[int]] = None,
+    max_batch_bytes: Optional[int] = None,
+    chunk_trials: Optional[int] = None,
 ) -> np.ndarray:
     """Per-trial accept decisions of the full-storage baseline, batched.
 
@@ -289,10 +315,16 @@ def sample_full_storage_acceptance_batch(
     one million trials that loop alone costs seconds for a decision
     made in microseconds), so unlike the randomized samplers the
     parent's spawn counter is left untouched.  Explicit *trial_seeds*
-    are still validated so the sampler stays shard-compatible.
+    are still validated so the sampler stays shard-compatible, and the
+    tiling knobs are accepted (and validated) for signature parity with
+    the randomized samplers — the broadcast output array is the whole
+    working set, so there is nothing to tile.
     """
     if trial_seeds is not None:
         resolve_trial_seeds(trials, rng, trial_seeds)
-    elif trials <= 0:
-        raise ValueError("trials must be positive")
+    elif trials < 0:
+        raise ValueError("trials must be non-negative")
+    resolve_chunk_trials(trials, max_batch_bytes, chunk_trials)
+    if trials == 0:
+        return np.zeros(0, dtype=bool)
     return np.full(trials, full_storage_accepts(word), dtype=bool)

@@ -41,6 +41,7 @@ from .a1_format import A1FormatCheck
 from .a2_fingerprint import A2FingerprintCheck, a2_passes_at_points
 from .a3_grover import A3GroverProcedure
 from .language import parse_condition_i
+from .tiling import resolve_chunk_trials, tile_bounds
 
 
 class QuantumOnlineRecognizer(ParallelComposition):
@@ -193,8 +194,50 @@ def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
     return np.array([marked_probability(batch[i], regs) for i in range(js.size)])
 
 
+def _decide_quantum_tile(
+    k: int,
+    blocks: list[str],
+    p: int,
+    m: int,
+    seeds: list[int],
+    detection_cache: dict[int, float],
+) -> np.ndarray:
+    """Accept decisions for one tile of trials, from explicit child seeds.
+
+    *detection_cache* memoizes A3's per-``j`` detection probability
+    across tiles: the value depends only on ``(blocks, j)`` and the
+    batched evolution is row-independent, so each of the at-most-2^k
+    distinct counts is evolved once per word however many tiles the run
+    is split into (only scalars are retained, so the cache never eats
+    into the byte budget).
+    """
+    n = len(seeds)
+    ts = np.empty(n, dtype=np.int64)
+    js = np.empty(n, dtype=np.int64)
+    coins = np.empty(n, dtype=np.float64)
+    for i, seed in enumerate(seeds):
+        r1, r2 = spawn(np.random.default_rng(seed), 2)
+        ts[i] = r1.integers(0, p)
+        js[i] = r2.integers(0, m)
+        coins[i] = r2.random()
+    a2_ok = a2_passes_at_points(k, blocks, ts)
+    unique_js, inverse = np.unique(js, return_inverse=True)
+    missing = [int(j) for j in unique_js if int(j) not in detection_cache]
+    if missing:
+        probs = batched_a3_detection(k, blocks, np.asarray(missing, dtype=np.int64))
+        detection_cache.update(zip(missing, (float(q) for q in probs)))
+    detection = np.array([detection_cache[int(j)] for j in unique_js])[inverse]
+    a3_ok = ~(coins < detection)  # b = 1 (intersection seen) rejects
+    return a2_ok & a3_ok
+
+
 def sample_acceptance_batch(
-    word: str, trials: int, rng=None, trial_seeds=None
+    word: str,
+    trials: int,
+    rng=None,
+    trial_seeds=None,
+    max_batch_bytes: Optional[int] = None,
+    chunk_trials: Optional[int] = None,
 ) -> np.ndarray:
     """Per-trial accept decisions of the recognizer, computed batched.
 
@@ -208,9 +251,17 @@ def sample_acceptance_batch(
     *trial_seeds* (one child seed per trial, as
     :func:`repro.rng.spawn_seeds` would produce) overrides the spawn so
     shards of one word's trials can run in other processes.
-    Returns a boolean array of length *trials*.
+
+    *max_batch_bytes* / *chunk_trials* tile the trials into contiguous
+    chunks decided sequentially (see :mod:`repro.core.tiling`): each
+    trial's decision depends only on its own child seed, so the
+    concatenated decisions are byte-identical to the untiled run while
+    the working set stays within the budget.  Returns a boolean array
+    of length *trials*.
     """
     seeds = resolve_trial_seeds(trials, rng, trial_seeds)
+    if trials == 0:
+        return np.zeros(0, dtype=bool)
     parsed = parse_condition_i(word)
     if parsed is None:
         # A1 rejects deterministically; no per-trial randomness can
@@ -219,19 +270,30 @@ def sample_acceptance_batch(
     k, blocks = parsed
     p = fingerprint_prime(k)
     m = 1 << k
-    ts = np.empty(trials, dtype=np.int64)
-    js = np.empty(trials, dtype=np.int64)
-    coins = np.empty(trials, dtype=np.float64)
-    for i, seed in enumerate(seeds):
-        r1, r2 = spawn(np.random.default_rng(seed), 2)
-        ts[i] = r1.integers(0, p)
-        js[i] = r2.integers(0, m)
-        coins[i] = r2.random()
-    a2_ok = a2_passes_at_points(k, blocks, ts)
-    unique_js, inverse = np.unique(js, return_inverse=True)
-    detection = batched_a3_detection(k, blocks, unique_js)[inverse]
-    a3_ok = ~(coins < detection)  # b = 1 (intersection seen) rejects
-    return a2_ok & a3_ok
+    # Working-set model: ts/js/coins plus A2's per-distinct-block
+    # fingerprint sweeps scale with the tile; the (J, 2^{2k+2})
+    # complex128 state batch has one row per distinct j in the tile,
+    # capped at the 2^k possible iteration counts whatever the tile.
+    state_row = 16 << (2 * k + 2)
+    per_trial = 48 + 8 * len(set(blocks))
+    tile = resolve_chunk_trials(
+        trials, max_batch_bytes, chunk_trials, per_trial + state_row
+    )
+    if tile >= m:
+        # The state batch saturates at 2^k rows: treat it as a fixed
+        # floor and let the per-trial arrays spend the rest.
+        tile = resolve_chunk_trials(
+            trials, max_batch_bytes, chunk_trials, per_trial, m * state_row
+        )
+    detection_cache: dict[int, float] = {}
+    if tile >= trials:
+        return _decide_quantum_tile(k, blocks, p, m, seeds, detection_cache)
+    out = np.empty(trials, dtype=bool)
+    for lo, hi in tile_bounds(trials, tile):
+        out[lo:hi] = _decide_quantum_tile(
+            k, blocks, p, m, seeds[lo:hi], detection_cache
+        )
+    return out
 
 
 def exact_acceptance_probability(word: str, max_k_for_a2: int = 3) -> float:

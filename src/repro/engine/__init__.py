@@ -4,8 +4,12 @@ See :mod:`repro.engine.api` for the contract.  Importing this package
 registers the three stock backends:
 
 * ``sequential`` — per-trial streaming passes (reference semantics);
-* ``batched``    — ``(B, 2^n)`` state batches + one Horner sweep;
-* ``multiprocess`` — word-level fan-out over a process pool.
+* ``batched``    — ``(B, 2^n)`` state batches + one Horner sweep,
+  optionally tiled under a ``max_batch_bytes`` memory budget;
+* ``multiprocess`` — word-level fan-out over a process pool;
+* ``sharedmem``  — trial-level fan-out with the word material and the
+  per-trial seed plan placed in ``multiprocessing.shared_memory`` once
+  instead of pickled per task.
 
 Orthogonal to the backend axis, every backend samples any of the stock
 recognizers (``recognizer="quantum" | "classical-blockwise" |
@@ -30,6 +34,7 @@ from .api import (
 from .sequential import SequentialBackend
 from .batched import BatchedDenseBackend
 from .multiprocess import MultiprocessBackend
+from .sharedmem import SharedMemoryBackend
 
 __all__ = [
     "AcceptanceEstimate",
@@ -44,4 +49,5 @@ __all__ = [
     "SequentialBackend",
     "BatchedDenseBackend",
     "MultiprocessBackend",
+    "SharedMemoryBackend",
 ]

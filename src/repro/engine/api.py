@@ -12,7 +12,10 @@ the *how* vary per backend:
   (:mod:`repro.engine.batched`);
 * ``multiprocess`` — the word list fans out over a process pool, each
   worker running one of the in-process backends
-  (:mod:`repro.engine.multiprocess`).
+  (:mod:`repro.engine.multiprocess`);
+* ``sharedmem`` — one word's trials fan out over a process pool with
+  the word material and per-trial seed plan placed in shared memory
+  once instead of pickled per task (:mod:`repro.engine.sharedmem`).
 
 Seeding is part of the API contract: ``run_many`` derives one child
 seed per word with :func:`repro.rng.spawn_seeds`, in word order, and

@@ -46,9 +46,24 @@ def _batch_sampler(recognizer: str) -> Callable[..., np.ndarray]:
 
 @register_backend
 class BatchedDenseBackend(ExecutionBackend):
-    """Vectorized trials for the stock recognizers."""
+    """Vectorized trials for the stock recognizers.
+
+    *max_batch_bytes* / *chunk_trials* bound the dense working set: the
+    samplers split the trial batch into contiguous tiles decided
+    sequentially (see :mod:`repro.core.tiling`), with counts
+    byte-identical to the untiled run — a fixed memory budget serves
+    any depth.
+    """
 
     name = "batched"
+
+    def __init__(
+        self,
+        max_batch_bytes: Optional[int] = None,
+        chunk_trials: Optional[int] = None,
+    ) -> None:
+        self.max_batch_bytes = max_batch_bytes
+        self.chunk_trials = chunk_trials
 
     def count_accepted(
         self,
@@ -65,7 +80,17 @@ class BatchedDenseBackend(ExecutionBackend):
                 "'sequential' for arbitrary algorithms"
             )
         sampler = _batch_sampler(recognizer)
-        return int(np.count_nonzero(sampler(word, trials, rng)))
+        return int(
+            np.count_nonzero(
+                sampler(
+                    word,
+                    trials,
+                    rng,
+                    max_batch_bytes=self.max_batch_bytes,
+                    chunk_trials=self.chunk_trials,
+                )
+            )
+        )
 
     def count_accepted_from_seeds(
         self,
@@ -73,8 +98,21 @@ class BatchedDenseBackend(ExecutionBackend):
         seeds: Sequence[int],
         recognizer: str = "quantum",
     ) -> int:
-        """Accepted count for explicit per-trial child seeds (sharding)."""
+        """Accepted count for explicit per-trial child seeds (sharding).
+
+        An empty seed list — e.g. the continuation of an experiment
+        already at its requested depth — is a 0-accepted no-op.
+        """
         sampler = _batch_sampler(recognizer)
         return int(
-            np.count_nonzero(sampler(word, len(seeds), None, trial_seeds=seeds))
+            np.count_nonzero(
+                sampler(
+                    word,
+                    len(seeds),
+                    None,
+                    trial_seeds=seeds,
+                    max_batch_bytes=self.max_batch_bytes,
+                    chunk_trials=self.chunk_trials,
+                )
+            )
         )

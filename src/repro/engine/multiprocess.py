@@ -36,10 +36,23 @@ from .api import (
 )
 
 
+def _inner_backend(spec, max_batch_bytes):
+    """Resolve an inner backend, applying the budget only when set.
+
+    A ``None`` budget must not reach ``get_backend``: an inner given as
+    a configured *instance* takes no options at all, and a
+    custom-registered class need not accept the kwarg just to be
+    nested without a budget.
+    """
+    if max_batch_bytes is None:
+        return get_backend(spec)
+    return get_backend(spec, max_batch_bytes=max_batch_bytes)
+
+
 def _count_one(args: tuple) -> int:
     """Pool worker: rebuild the inner backend and run one word."""
-    word, trials, seed, inner_name, recognizer = args
-    backend = get_backend(inner_name)
+    word, trials, seed, inner_name, recognizer, max_batch_bytes = args
+    backend = _inner_backend(inner_name, max_batch_bytes)
     return backend.count_accepted(
         word, trials, np.random.default_rng(seed), recognizer=recognizer
     )
@@ -47,9 +60,26 @@ def _count_one(args: tuple) -> int:
 
 def _count_shard(args: tuple) -> int:
     """Pool worker: run one shard of a word's trials from explicit seeds."""
-    word, seeds, inner_name, recognizer = args
-    backend = get_backend(inner_name)
+    word, seeds, inner_name, recognizer, max_batch_bytes = args
+    backend = _inner_backend(inner_name, max_batch_bytes)
     return backend.count_accepted_from_seeds(word, seeds, recognizer)
+
+
+def _workers_for(processes, jobs: int) -> int:
+    """Worker count for *jobs* tasks: explicit setting or cpu-bounded."""
+    if processes is None:
+        import os
+
+        return min(jobs, os.cpu_count() or 1)
+    return processes
+
+
+def _shard_bounds(total: int, workers: int) -> List[tuple]:
+    """Contiguous, non-empty ``(lo, hi)`` shard bounds covering *total*."""
+    bounds = np.linspace(0, total, workers + 1, dtype=int)
+    return [
+        (int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
 
 
 def _pool_errors() -> tuple:
@@ -73,13 +103,17 @@ class MultiprocessBackend(ExecutionBackend):
         inner: str = "batched",
         processes: Optional[int] = None,
         shard_trials: bool = False,
+        max_batch_bytes: Optional[int] = None,
     ) -> None:
-        if inner == self.name:
-            raise ValueError("multiprocess cannot nest itself")
+        if inner in (self.name, "sharedmem"):
+            # Nesting pool backends would spawn a pool inside every
+            # pool worker (up to N^2 processes).
+            raise ValueError(f"multiprocess cannot nest the {inner!r} backend")
         self.inner = inner
         self.processes = processes
         self.shard_trials = shard_trials
-        self._inner_backend = get_backend(inner)
+        self.max_batch_bytes = max_batch_bytes
+        self._inner_backend = _inner_backend(inner, max_batch_bytes)
         if shard_trials and not hasattr(self._inner_backend, "count_accepted_from_seeds"):
             raise ValueError(
                 f"inner backend {inner!r} cannot run from explicit trial "
@@ -87,12 +121,7 @@ class MultiprocessBackend(ExecutionBackend):
             )
 
     def _workers(self, jobs: int) -> int:
-        workers = self.processes
-        if workers is None:
-            import os
-
-            workers = min(jobs, os.cpu_count() or 1)
-        return workers
+        return _workers_for(self.processes, jobs)
 
     def count_accepted(
         self,
@@ -121,11 +150,9 @@ class MultiprocessBackend(ExecutionBackend):
             return self._inner_backend.count_accepted_from_seeds(
                 word, seeds, recognizer
             )
-        bounds = np.linspace(0, trials, workers + 1, dtype=int)
         shards = [
-            (word, seeds[lo:hi], self.inner, recognizer)
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
+            (word, seeds[lo:hi], self.inner, recognizer, self.max_batch_bytes)
+            for lo, hi in _shard_bounds(trials, workers)
         ]
         from concurrent.futures import ProcessPoolExecutor
 
@@ -151,6 +178,10 @@ class MultiprocessBackend(ExecutionBackend):
         run inline on the same seeds.
         """
         seeds = [int(s) for s in seeds]
+        if not seeds:
+            # A zero-length shard (e.g. the empty continuation of an
+            # already-complete run) is a no-op on every backend.
+            return 0
         workers = min(self._workers(len(seeds)), len(seeds))
         if recognizer in DETERMINISTIC_RECOGNIZERS:
             # The machine consults no randomness: one inline decision
@@ -160,11 +191,9 @@ class MultiprocessBackend(ExecutionBackend):
             return self._inner_backend.count_accepted_from_seeds(
                 word, seeds, recognizer
             )
-        bounds = np.linspace(0, len(seeds), workers + 1, dtype=int)
         shards = [
-            (word, seeds[lo:hi], self.inner, recognizer)
-            for lo, hi in zip(bounds[:-1], bounds[1:])
-            if hi > lo
+            (word, seeds[lo:hi], self.inner, recognizer, self.max_batch_bytes)
+            for lo, hi in _shard_bounds(len(seeds), workers)
         ]
         from concurrent.futures import ProcessPoolExecutor
 
@@ -196,7 +225,7 @@ class MultiprocessBackend(ExecutionBackend):
                 )
             ]
         jobs = [
-            (word, trials, seed, self.inner, recognizer)
+            (word, trials, seed, self.inner, recognizer, self.max_batch_bytes)
             for word, seed in zip(words, seeds)
         ]
         workers = self._workers(len(jobs))

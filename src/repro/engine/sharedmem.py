@@ -1,0 +1,262 @@
+"""The shared-memory backend: trial fan-out without per-task pickling.
+
+``multiprocess(shard_trials=True)`` ships every shard its slice of the
+per-trial seed list (16 bytes a seed) and the word string *per task*,
+through the pool's pickle pipe.  At the depths where the separation
+becomes visible — millions of trials on one word — that serialization
+is pure overhead: the word and the seed plan are identical for every
+shard.  This backend places them in ``multiprocessing.shared_memory``
+**once**:
+
+* the word's ASCII bytes in one segment;
+* the packed per-trial seed plan (one 16-byte little-endian row per
+  trial) in a second;
+* an ``int64`` per-shard counts buffer in a third.
+
+Workers receive only ``(shm_name, lo, hi)`` index triples (plus the
+inner backend name and recognizer), attach, decide trials ``lo..hi``
+with the inner backend, and write their accepted count into their slot
+of the counts buffer; the parent sums the buffer.  Because the seeds
+are the exact ``spawn_seeds`` output of the unsharded run and shards
+are contiguous slices of it, the counts are seed-identical to the
+``batched`` backend — the engine's seeding contract holds.
+
+Degradation mirrors the multiprocess backend: ``processes <= 1``, a
+deterministic recognizer, an environment without shared memory
+(``OSError`` / ``PermissionError`` at segment creation), or a pool that
+cannot start / loses workers mid-flight (``BrokenProcessPool``) all
+fall back to inline execution with identical counts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rng import spawn_seeds
+from .api import (
+    DETERMINISTIC_RECOGNIZERS,
+    ExecutionBackend,
+    register_backend,
+)
+from .multiprocess import _inner_backend, _pool_errors, _shard_bounds, _workers_for
+
+#: Bytes per packed seed row; ``spawn_seeds`` children are 128-bit ints.
+SEED_BYTES = 16
+
+
+def _pack_seed_plan(seeds: Sequence[int]) -> bytes:
+    """Seed list -> contiguous little-endian 16-byte rows."""
+    return b"".join(int(s).to_bytes(SEED_BYTES, "little") for s in seeds)
+
+
+def _unpack_seed_rows(buf, lo: int, hi: int) -> List[int]:
+    """Rows ``lo..hi`` of a packed seed-plan buffer, back as ints."""
+    raw = bytes(buf[lo * SEED_BYTES : hi * SEED_BYTES])
+    return [
+        int.from_bytes(raw[i : i + SEED_BYTES], "little")
+        for i in range(0, len(raw), SEED_BYTES)
+    ]
+
+
+def _destroy(segment) -> None:
+    """Close and unlink one segment, tolerating repeated teardown."""
+    for step in (segment.close, segment.unlink):
+        try:
+            step()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _count_shard_shared(args: tuple) -> int:
+    """Pool worker: decide trials ``lo..hi`` straight from shared memory."""
+    (
+        word_name,
+        word_len,
+        seeds_name,
+        counts_name,
+        n_shards,
+        shard_index,
+        lo,
+        hi,
+        inner_name,
+        recognizer,
+        max_batch_bytes,
+    ) = args
+    from multiprocessing import shared_memory
+
+    word_shm = shared_memory.SharedMemory(name=word_name)
+    try:
+        word = bytes(word_shm.buf[:word_len]).decode("ascii")
+    finally:
+        word_shm.close()
+    seeds_shm = shared_memory.SharedMemory(name=seeds_name)
+    try:
+        seeds = _unpack_seed_rows(seeds_shm.buf, lo, hi)
+    finally:
+        seeds_shm.close()
+    backend = _inner_backend(inner_name, max_batch_bytes)
+    count = backend.count_accepted_from_seeds(word, seeds, recognizer)
+    counts_shm = shared_memory.SharedMemory(name=counts_name)
+    try:
+        counts = np.ndarray((n_shards,), dtype=np.int64, buffer=counts_shm.buf)
+        counts[shard_index] = count
+        del counts  # release the buffer export before close()
+    finally:
+        counts_shm.close()
+    return count
+
+
+@register_backend
+class SharedMemoryBackend(ExecutionBackend):
+    """Trial-level fan-out with the word and seed plan shared, not shipped."""
+
+    name = "sharedmem"
+
+    def __init__(
+        self,
+        inner: str = "batched",
+        processes: Optional[int] = None,
+        max_batch_bytes: Optional[int] = None,
+    ) -> None:
+        if inner in (self.name, "multiprocess"):
+            raise ValueError(f"sharedmem cannot nest the {inner!r} backend")
+        self.inner = inner
+        self.processes = processes
+        self.max_batch_bytes = max_batch_bytes
+        self._inner_backend = _inner_backend(inner, max_batch_bytes)
+        if not hasattr(self._inner_backend, "count_accepted_from_seeds"):
+            raise ValueError(
+                f"inner backend {inner!r} cannot run from explicit trial "
+                "seeds, so its trials cannot be sharded"
+            )
+
+    def _workers(self, jobs: int) -> int:
+        return _workers_for(self.processes, jobs)
+
+    def count_accepted(
+        self,
+        word: str,
+        trials: int,
+        rng: np.random.Generator,
+        factory: Optional[Callable[[np.random.Generator], Any]] = None,
+        recognizer: str = "quantum",
+    ) -> int:
+        if factory is not None:
+            raise ValueError("the sharedmem backend ships seeds, not closures")
+        if recognizer in DETERMINISTIC_RECOGNIZERS:
+            # The machine consults no randomness; run the inner backend
+            # inline so the parent's spawn counter stays untouched,
+            # like every other backend.
+            return self._inner_backend.count_accepted(
+                word, trials, rng, recognizer=recognizer
+            )
+        # The exact per-trial seeds the unsharded run would draw.
+        return self.count_accepted_from_seeds(
+            word, spawn_seeds(rng, trials), recognizer
+        )
+
+    def count_accepted_from_seeds(
+        self,
+        word: str,
+        seeds: Sequence[int],
+        recognizer: str = "quantum",
+    ) -> int:
+        """Accepted count for explicit per-trial child seeds.
+
+        The seed list (typically a slice of
+        :func:`repro.engine.api.trial_seed_plan`, e.g. a ``repro.lab``
+        deepening continuation) is split into contiguous shards fanned
+        out through shared memory.  An empty list is a 0-accepted
+        no-op; counts always match the inner backend run inline on the
+        same seeds.
+        """
+        seeds = [int(s) for s in seeds]
+        if not seeds:
+            return 0
+        workers = min(self._workers(len(seeds)), len(seeds))
+        if workers <= 1 or recognizer in DETERMINISTIC_RECOGNIZERS:
+            return self._inner_backend.count_accepted_from_seeds(
+                word, seeds, recognizer
+            )
+        return self._fan_out(
+            word, seeds, _shard_bounds(len(seeds), workers), recognizer
+        )
+
+    def _fan_out(
+        self,
+        word: str,
+        seeds: List[int],
+        shard_bounds: List[Tuple[int, int]],
+        recognizer: str,
+    ) -> int:
+        from multiprocessing import shared_memory
+
+        def inline() -> int:
+            # Same shards, local seeds: counts are shard-sum invariant,
+            # so degradation never changes the statistics.
+            return sum(
+                self._inner_backend.count_accepted_from_seeds(
+                    word, seeds[lo:hi], recognizer
+                )
+                for lo, hi in shard_bounds
+            )
+
+        word_bytes = word.encode("ascii")
+        segments: List[Any] = []
+        try:
+            word_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, len(word_bytes))
+            )
+            segments.append(word_shm)
+            word_shm.buf[: len(word_bytes)] = word_bytes
+            # Writes are length-bounded: platforms may page-round the
+            # segment, making len(buf) larger than the requested size.
+            packed = _pack_seed_plan(seeds)
+            seeds_shm = shared_memory.SharedMemory(create=True, size=len(packed))
+            segments.append(seeds_shm)
+            seeds_shm.buf[: len(packed)] = packed
+            counts_shm = shared_memory.SharedMemory(
+                create=True, size=len(shard_bounds) * 8
+            )
+            segments.append(counts_shm)
+            counts_shm.buf[: len(shard_bounds) * 8] = bytes(len(shard_bounds) * 8)
+        except (OSError, PermissionError):
+            # No (or no room in) /dev/shm: degrade like a broken pool.
+            for segment in segments:
+                _destroy(segment)
+            return inline()
+        tasks = [
+            (
+                word_shm.name,
+                len(word_bytes),
+                seeds_shm.name,
+                counts_shm.name,
+                len(shard_bounds),
+                index,
+                lo,
+                hi,
+                self.inner,
+                recognizer,
+                self.max_batch_bytes,
+            )
+            for index, (lo, hi) in enumerate(shard_bounds)
+        ]
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            try:
+                with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                    list(pool.map(_count_shard_shared, tasks))
+                counts = np.ndarray(
+                    (len(shard_bounds),), dtype=np.int64, buffer=counts_shm.buf
+                )
+                total = int(counts.sum())
+                del counts  # release the buffer export before unlink
+                return total
+            except _pool_errors():
+                return inline()
+        finally:
+            for segment in segments:
+                _destroy(segment)

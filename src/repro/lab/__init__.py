@@ -28,7 +28,7 @@ Entry points: ``Orchestrator(store).run(spec)`` from code,
 """
 
 from .spec import ExperimentSpec, WORD_FAMILIES
-from .store import LabRecord, ResultStore, SCHEMA_VERSION
+from .store import LabRecord, ResultStore, SCHEMA_VERSION, StoreScan
 from .orchestrator import LabRunResult, Orchestrator
 
 __all__ = [
@@ -37,6 +37,7 @@ __all__ = [
     "LabRecord",
     "ResultStore",
     "SCHEMA_VERSION",
+    "StoreScan",
     "LabRunResult",
     "Orchestrator",
 ]

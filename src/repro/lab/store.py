@@ -16,8 +16,9 @@ Durability properties:
   concurrent writers interleave whole lines, never bytes;
 * **corruption tolerance** — the reader skips lines that are not valid
   JSON or miss required fields (a torn final line from a crashed
-  writer, editor damage) and reports how many it skipped via
-  :attr:`ResultStore.corrupt_lines` instead of failing the load;
+  writer, editor damage) and reports how many it skipped via the
+  per-call :attr:`StoreScan.corrupt_lines` instead of failing the
+  load;
 * **schema versioning** — every line carries ``schema``; lines from a
   *newer* schema than this code understands are skipped, not
   misparsed, so old readers degrade gracefully against new writers.
@@ -120,12 +121,31 @@ class _StoreLock:
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._fd is not None
+        # Explicit guard, not an assert: under ``python -O`` asserts are
+        # stripped, and a double-exit would then reach ``_flock(None)``
+        # (TypeError) while leaking the descriptor.  Swapping the field
+        # first makes unlock/close happen at most once however many
+        # times __exit__ runs.
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
         try:
-            _flock(self._fd, False)
+            _flock(fd, False)
         finally:
-            os.close(self._fd)
-            self._fd = None
+            os.close(fd)
+
+
+@dataclass(frozen=True)
+class StoreScan:
+    """One full read of the log: the readable records plus scan stats.
+
+    Returned by :meth:`ResultStore.scan` so corruption reporting is
+    per-call state: a caller's count can never be clobbered by a later
+    query's internal re-scan.
+    """
+
+    records: List[LabRecord]
+    corrupt_lines: int
 
 
 @dataclass
@@ -139,6 +159,10 @@ class ResultStore:
     """
 
     root: Union[str, Path]
+    #: Corruption count from the most recent *explicit* :meth:`load`
+    #: call only.  Internal scans (``checkpoints``, ``deepest``,
+    #: ``latest_by_key``, ``compact``) never touch it — use
+    #: :meth:`scan` when you need records and stats together.
     corrupt_lines: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -164,35 +188,55 @@ class ResultStore:
             finally:
                 os.close(fd)
 
-    def load(self) -> List[LabRecord]:
-        """All readable checkpoints, in append order.
+    def scan(self) -> StoreScan:
+        """One full read: readable checkpoints plus this scan's stats.
 
         Unreadable lines (torn writes, foreign schemas, hand damage)
-        are counted in :attr:`corrupt_lines` and skipped.
+        are skipped and counted in the returned
+        :attr:`StoreScan.corrupt_lines` — per-call state, immune to
+        later queries re-scanning the file.
         """
-        self.corrupt_lines = 0
         if not self.path.exists():
-            return []
+            return StoreScan(records=[], corrupt_lines=0)
         records: List[LabRecord] = []
+        corrupt = 0
         with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
             for line in fh:
                 if not line.strip():
                     continue
                 record = LabRecord.from_line(line)
                 if record is None:
-                    self.corrupt_lines += 1
+                    corrupt += 1
                 else:
                     records.append(record)
-        return records
+        return StoreScan(records=records, corrupt_lines=corrupt)
 
-    def checkpoints(self, key: str) -> List[LabRecord]:
+    def load(self) -> List[LabRecord]:
+        """All readable checkpoints, in append order.
+
+        Also mirrors the scan's corruption count into
+        :attr:`corrupt_lines` for callers of the historical attribute
+        API; prefer :meth:`scan` for stats that must survive subsequent
+        queries.
+        """
+        result = self.scan()
+        self.corrupt_lines = result.corrupt_lines
+        return result.records
+
+    def checkpoints(
+        self, key: str, records: Optional[List[LabRecord]] = None
+    ) -> List[LabRecord]:
         """This key's checkpoint ladder, shallowest first.
 
         When the log holds several records at the same depth (a
-        re-computed checkpoint), the latest append wins.
+        re-computed checkpoint), the latest append wins.  Pass
+        *records* (e.g. from a :meth:`scan`) to reuse a read instead of
+        re-scanning the file.
         """
+        if records is None:
+            records = self.scan().records
         by_trials: Dict[int, LabRecord] = {}
-        for record in self.load():
+        for record in records:
             if record.key == key:
                 by_trials[record.trials] = record
         return [by_trials[t] for t in sorted(by_trials)]
@@ -202,10 +246,14 @@ class ResultStore:
         ladder = self.checkpoints(key)
         return ladder[-1] if ladder else None
 
-    def latest_by_key(self) -> Dict[str, LabRecord]:
+    def latest_by_key(
+        self, records: Optional[List[LabRecord]] = None
+    ) -> Dict[str, LabRecord]:
         """Deepest checkpoint per experiment, for status/report views."""
+        if records is None:
+            records = self.scan().records
         deepest: Dict[str, LabRecord] = {}
-        for record in self.load():
+        for record in records:
             held = deepest.get(record.key)
             if held is None or record.trials >= held.trials:
                 deepest[record.key] = record
@@ -223,7 +271,7 @@ class ResultStore:
         kept) or wait for the new inode (and are never lost).
         """
         with _StoreLock(self.path):
-            records = self.load()
+            records = self.scan().records
             kept: Dict[tuple, LabRecord] = {}
             for record in records:
                 kept[(record.key, record.trials)] = record

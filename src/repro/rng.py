@@ -88,9 +88,13 @@ def resolve_trial_seeds(trials: int, rng: RngLike, trial_seeds=None) -> list[int
     trials)``; otherwise the explicit seed list is validated against
     *trials* and used verbatim — which is how shards of one word's
     trials reproduce the unsharded draw order in other processes.
+
+    ``trials == 0`` is legal and resolves to the empty list: a
+    zero-length shard (e.g. the continuation ``trial_seed_plan(seed,
+    n)[n:]`` of an already-complete run) is a no-op, not an error.
     """
-    if trials <= 0:
-        raise ValueError("trials must be positive")
+    if trials < 0:
+        raise ValueError("trials must be non-negative")
     if trial_seeds is None:
         return spawn_seeds(ensure_rng(rng), trials)
     seeds = [int(s) for s in trial_seeds]

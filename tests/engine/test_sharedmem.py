@@ -1,0 +1,216 @@
+"""The sharedmem backend: seed parity, degradation, empty-slice no-ops.
+
+The backend places the word material and the per-trial seed plan in
+``multiprocessing.shared_memory`` once and fans contiguous shard index
+triples out to workers, so its counts must be seed-identical to the
+``batched`` backend — sharded and unsharded, for every recognizer —
+and it must degrade inline when pools or shared memory are missing.
+"""
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.core import intersecting_nonmember, member
+from repro.engine import (
+    ExecutionEngine,
+    SharedMemoryBackend,
+    available_backends,
+    get_backend,
+    trial_seed_plan,
+)
+from repro.engine.sharedmem import _pack_seed_plan, _unpack_seed_rows
+
+RECOGNIZERS = ["quantum", "classical-blockwise", "classical-full"]
+
+
+@pytest.fixture(scope="module")
+def word():
+    return intersecting_nonmember(1, 2, np.random.default_rng(1))
+
+
+class TestSeedPlanPacking:
+    def test_round_trip(self):
+        plan = trial_seed_plan(3, 17)
+        buf = _pack_seed_plan(plan)
+        assert _unpack_seed_rows(buf, 0, 17) == plan
+        assert _unpack_seed_rows(buf, 5, 11) == plan[5:11]
+        assert _unpack_seed_rows(buf, 17, 17) == []
+
+
+class TestRegistration:
+    def test_listed(self):
+        assert "sharedmem" in available_backends()
+
+    def test_cannot_nest_pools(self):
+        with pytest.raises(ValueError, match="nest"):
+            SharedMemoryBackend(inner="multiprocess")
+        with pytest.raises(ValueError, match="nest"):
+            SharedMemoryBackend(inner="sharedmem")
+
+    def test_rejects_factories(self, word):
+        backend = SharedMemoryBackend(processes=2)
+        with pytest.raises(ValueError, match="seeds, not closures"):
+            backend.count_accepted(
+                word, 10, np.random.default_rng(0), factory=lambda rng: None
+            )
+
+
+class TestSeedParity:
+    @pytest.mark.parametrize("recognizer", RECOGNIZERS)
+    def test_sharded_counts_match_batched(self, word, recognizer):
+        shared = ExecutionEngine("sharedmem", processes=2).estimate_acceptance(
+            word, 60, rng=9, recognizer=recognizer
+        )
+        plain = ExecutionEngine("batched").estimate_acceptance(
+            word, 60, rng=9, recognizer=recognizer
+        )
+        assert shared.accepted == plain.accepted
+
+    @pytest.mark.parametrize("recognizer", RECOGNIZERS)
+    def test_unsharded_single_worker_runs_inline(self, word, recognizer, monkeypatch):
+        def no_pool(*a, **kw):  # pragma: no cover - must not be reached
+            raise AssertionError("single-worker sharedmem reached the pool")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", no_pool)
+        shared = ExecutionEngine("sharedmem", processes=1).estimate_acceptance(
+            word, 40, rng=5, recognizer=recognizer
+        )
+        plain = ExecutionEngine("batched").estimate_acceptance(
+            word, 40, rng=5, recognizer=recognizer
+        )
+        assert shared.accepted == plain.accepted
+
+    def test_explicit_seed_slices_match_inline(self, word):
+        """Deepening continuations (plan slices) fan out identically."""
+        plan = trial_seed_plan(9, 60)
+        shared = get_backend("sharedmem", processes=2)
+        inline = get_backend("batched")
+        for lo, hi in [(0, 60), (13, 60), (0, 13)]:
+            assert shared.count_accepted_from_seeds(
+                word, plan[lo:hi], "quantum"
+            ) == inline.count_accepted_from_seeds(word, plan[lo:hi], "quantum")
+
+    def test_run_many_matches_batched(self, word):
+        words = [word, member(1, np.random.default_rng(2))]
+        shared = ExecutionEngine("sharedmem", processes=2).run_many(
+            words, 30, rng=11
+        )
+        plain = ExecutionEngine("batched").run_many(words, 30, rng=11)
+        assert [e.accepted for e in shared] == [e.accepted for e in plain]
+
+    def test_budget_threads_to_workers(self, word):
+        budgeted = ExecutionEngine(
+            "sharedmem", processes=2, max_batch_bytes=2048
+        ).estimate_acceptance(word, 60, rng=9)
+        plain = ExecutionEngine("batched").estimate_acceptance(word, 60, rng=9)
+        assert budgeted.accepted == plain.accepted
+
+    def test_deterministic_recognizer_skips_the_pool(self, word, monkeypatch):
+        def no_pool(*a, **kw):  # pragma: no cover - must not be reached
+            raise AssertionError("deterministic recognizer reached the pool")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", no_pool)
+        backend = get_backend("sharedmem", processes=4)
+        count = backend.count_accepted(
+            word, 40, np.random.default_rng(3), recognizer="classical-full"
+        )
+        assert count in (0, 40)
+
+
+class _ExplodingPool:
+    """Stands in for ProcessPoolExecutor; every map dies like an OOM kill."""
+
+    def __init__(self, max_workers=None):
+        self.max_workers = max_workers
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def map(self, fn, iterable):
+        raise BrokenProcessPool("a child process terminated abruptly")
+
+
+class TestDegradation:
+    def test_broken_pool_falls_back_inline(self, word, monkeypatch):
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", _ExplodingPool
+        )
+        shared = ExecutionEngine("sharedmem", processes=2).estimate_acceptance(
+            word, 50, rng=9
+        )
+        plain = ExecutionEngine("batched").estimate_acceptance(word, 50, rng=9)
+        assert shared.accepted == plain.accepted
+
+    def test_missing_shared_memory_falls_back_inline(self, word, monkeypatch):
+        import multiprocessing.shared_memory as shm_mod
+
+        def no_shm(*a, **kw):
+            raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", no_shm)
+        shared = ExecutionEngine("sharedmem", processes=2).estimate_acceptance(
+            word, 50, rng=9
+        )
+        plain = ExecutionEngine("batched").estimate_acceptance(word, 50, rng=9)
+        assert shared.accepted == plain.accepted
+
+
+class TestEmptySeedListIsANoOp:
+    """``count_accepted_from_seeds(word, [])`` — the legal empty
+    continuation ``trial_seed_plan(seed, n)[n:]`` — returns 0 accepted
+    on every backend instead of raising."""
+
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "sequential",
+            "batched",
+            pytest.param("multiprocess"),
+            pytest.param("sharedmem"),
+        ],
+    )
+    @pytest.mark.parametrize("recognizer", RECOGNIZERS)
+    def test_empty_slice_counts_zero(self, word, backend, recognizer):
+        b = get_backend(backend)
+        plan = trial_seed_plan(9, 8)
+        assert b.count_accepted_from_seeds(word, plan[8:], recognizer) == 0
+        assert b.count_accepted_from_seeds(word, [], recognizer) == 0
+
+    def test_empty_slice_never_reaches_a_pool(self, word, monkeypatch):
+        def no_pool(*a, **kw):  # pragma: no cover - must not be reached
+            raise AssertionError("empty shard reached the pool")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", no_pool)
+        for backend in ("multiprocess", "sharedmem"):
+            assert get_backend(backend, processes=4).count_accepted_from_seeds(
+                word, [], "quantum"
+            ) == 0
+
+
+class TestInnerBackendResolution:
+    def test_instance_inner_without_budget_still_works(self, word):
+        """A configured backend *instance* as inner must keep working
+        when no budget is set (get_backend rejects options alongside
+        instances)."""
+        from repro.engine import BatchedDenseBackend, MultiprocessBackend
+
+        mp = MultiprocessBackend(inner=BatchedDenseBackend(), processes=1)
+        plain = get_backend("batched")
+        plan = trial_seed_plan(9, 20)
+        assert mp.count_accepted_from_seeds(
+            word, plan, "quantum"
+        ) == plain.count_accepted_from_seeds(word, plan, "quantum")
+
+    def test_multiprocess_rejects_sharedmem_inner(self):
+        """The nesting guard is symmetric: a pool backend inside a pool
+        worker would spawn up to N^2 processes."""
+        from repro.engine import MultiprocessBackend
+
+        with pytest.raises(ValueError, match="nest"):
+            MultiprocessBackend(inner="sharedmem")

@@ -143,3 +143,54 @@ class TestSweepThroughStore:
         assert [e.accepted for _, e in second] == [
             e.accepted for _, e in first
         ]
+
+
+class TestMemoryBudget:
+    def test_budgeted_runs_are_count_identical(self, tmp_path):
+        plain = Orchestrator(tmp_path / "plain").run(_spec())
+        tiled = Orchestrator(tmp_path / "tiled", max_batch_bytes=1024).run(_spec())
+        assert tiled.estimate.accepted == plain.estimate.accepted
+
+    def test_budgeted_deepening_matches_fresh(self, tmp_path):
+        orch = Orchestrator(tmp_path, max_batch_bytes=2048)
+        spec = _spec(trials=50)
+        orch.run(spec)
+        deep = orch.run(spec.with_trials(150))
+        fresh = ExecutionEngine("batched").estimate_acceptance(
+            spec.resolve_word(), 150, rng=spec.seed
+        )
+        assert deep.source == "deepened"
+        assert deep.estimate.accepted == fresh.accepted
+
+
+class TestSharedmemDeepening:
+    def test_sharedmem_deepening_matches_fresh(self, tmp_path):
+        """The lab's continuation slices fan out through shared memory
+        with counts identical to a fresh batched run."""
+        orch = Orchestrator(tmp_path)
+        spec = _spec(trials=60, backend="sharedmem")
+        orch.run(spec)
+        deep = orch.run(spec.with_trials(180))
+        fresh = ExecutionEngine("batched").estimate_acceptance(
+            spec.resolve_word(), 180, rng=spec.seed
+        )
+        assert deep.source == "deepened" and deep.trials_executed == 120
+        assert deep.estimate.accepted == fresh.accepted
+
+
+class TestExactDepthRequests:
+    def test_exact_depth_never_spawns_a_run(self, tmp_path, monkeypatch):
+        """An exact-depth deepen request is a pure cache hit: the empty
+        continuation ``trial_seed_plan(seed, n)[n:]`` must not reach
+        any backend."""
+        orch = Orchestrator(tmp_path)
+        spec = _spec(trials=60)
+        first = orch.run(spec)
+
+        def explode(*a, **kw):  # pragma: no cover - the point is it never runs
+            raise AssertionError("exact-depth request resolved a backend")
+
+        monkeypatch.setattr(orchestrator_mod, "get_backend", explode)
+        again = orch.run(spec.with_trials(60))
+        assert again.source == "cache" and again.trials_executed == 0
+        assert again.estimate.accepted == first.estimate.accepted

@@ -141,3 +141,73 @@ class TestConcurrency:
         for w in range(writers):
             ladder = store.checkpoints(f"w{w}")
             assert [r.trials for r in ladder] == list(range(1, per_writer + 1))
+
+
+class TestStoreLock:
+    def test_double_exit_is_safe(self, tmp_path):
+        """__exit__ must unlock/close at most once — under ``python -O``
+        the old bare assert vanished and a double-exit reached
+        ``_flock(None)`` with a leaked descriptor."""
+        from repro.lab.store import _StoreLock
+
+        lock = _StoreLock(tmp_path / "results.jsonl")
+        with lock:
+            pass
+        lock.__exit__(None, None, None)  # second exit: no-op, no TypeError
+        assert lock._fd is None
+
+    def test_exit_without_enter_is_safe(self, tmp_path):
+        from repro.lab.store import _StoreLock
+
+        _StoreLock(tmp_path / "results.jsonl").__exit__(None, None, None)
+
+    def test_lock_reusable_after_exit(self, tmp_path):
+        from repro.lab.store import _StoreLock
+
+        lock = _StoreLock(tmp_path / "results.jsonl")
+        for _ in range(3):
+            with lock:
+                assert lock._fd is not None
+            assert lock._fd is None
+
+
+class TestPerCallScanStats:
+    def _corrupt(self, store, lines=2):
+        with open(store.path, "a") as fh:
+            for _ in range(lines):
+                fh.write("garbage\n")
+
+    def test_scan_returns_records_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_record(trials=100))
+        self._corrupt(store, 2)
+        snapshot = store.scan()
+        assert [r.trials for r in snapshot.records] == [100]
+        assert snapshot.corrupt_lines == 2
+
+    def test_internal_queries_do_not_clobber_a_read_count(self, tmp_path):
+        """The regression: checkpoints()/deepest()/latest_by_key()/
+        compact() used to reset ``corrupt_lines`` right after a caller
+        read it."""
+        store = ResultStore(tmp_path)
+        store.append(_record(trials=100))
+        self._corrupt(store, 3)
+        assert store.load() is not None
+        assert store.corrupt_lines == 3
+        store.checkpoints("k1")
+        store.deepest("k1")
+        store.latest_by_key()
+        assert store.corrupt_lines == 3  # survives every internal scan
+        store.compact()  # rewrites the log, dropping the garbage
+        assert store.corrupt_lines == 3  # the caller's count still stands
+        assert store.scan().corrupt_lines == 0  # fresh scan: clean file
+
+    def test_queries_accept_a_prior_scan(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(_record(key="a", trials=10))
+        store.append(_record(key="a", trials=50))
+        store.append(_record(key="b", trials=20))
+        snapshot = store.scan()
+        assert store.latest_by_key(snapshot.records)["a"].trials == 50
+        ladder = store.checkpoints("a", snapshot.records)
+        assert [r.trials for r in ladder] == [10, 50]

@@ -94,9 +94,15 @@ class TestResolveTrialSeeds:
         with pytest.raises(ValueError, match="trial seeds"):
             rngmod.resolve_trial_seeds(3, None, [1, 2])
 
-    def test_nonpositive_trials_rejected(self):
+    def test_negative_trials_rejected(self):
         with pytest.raises(ValueError):
-            rngmod.resolve_trial_seeds(0, None)
+            rngmod.resolve_trial_seeds(-1, None)
+
+    def test_zero_trials_is_a_legal_empty_plan(self):
+        """A zero-length shard (an already-complete run's continuation)
+        resolves to the empty list instead of raising."""
+        assert rngmod.resolve_trial_seeds(0, None) == []
+        assert rngmod.resolve_trial_seeds(0, None, []) == []
 
 
 class TestHelpers:
