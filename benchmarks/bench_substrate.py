@@ -155,6 +155,9 @@ def _append_history(record: dict) -> None:
             "slowdown_over_unchunked"
         ],
         "lab_deepen_to_2x_seconds": record["lab"]["deepen_to_2x_seconds"],
+        "service_cached_queries_per_second": record["service"][
+            "cached_queries_per_second"
+        ],
     }
     with open(ENGINE_HISTORY, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry, sort_keys=True, allow_nan=False) + "\n")
@@ -368,5 +371,102 @@ def test_engine_backend_throughput():
             "warm_trials_executed": warm.trials_executed,
             "deepened_matches_fresh_2x": deep.estimate.accepted == fresh_2x.accepted,
         }
+
+    # The acceptance service: N identical concurrent clients must cost
+    # exactly one engine execution (request coalescing), with counts
+    # byte-identical to one direct orchestrator run, and precision mode
+    # must stop at a checkpoint meeting the target half-width having
+    # executed only seed-plan-suffix trials.  These are correctness
+    # gates, asserted at every size; throughput is recorded alongside.
+    import threading
+
+    from repro.analysis.bounds import wilson_halfwidth
+    from repro.service import ServiceClient, ServiceThread
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServiceThread(Path(tmp) / "svc", workers=2) as svc:
+            spec = ExperimentSpec(
+                family="intersecting", k=2, t=1, word_seed=2, trials=trials, seed=2006
+            )
+            n_clients = 8
+            results = [None] * n_clients
+            barrier = threading.Barrier(n_clients)
+
+            def hammer(i):
+                with ServiceClient(port=svc.port) as client:
+                    barrier.wait()
+                    results[i] = client.query(spec)
+
+            threads = [
+                threading.Thread(target=hammer, args=(i,)) for i in range(n_clients)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            burst_s = time.perf_counter() - start
+
+            with ServiceClient(port=svc.port) as client:
+                stats = client.stats()
+            direct = Orchestrator(Path(tmp) / "direct").run(spec)
+            assert stats["engine_runs"] == 1, (
+                f"coalescing gate: {n_clients} identical concurrent queries "
+                f"cost {stats['engine_runs']} engine runs (want 1)"
+            )
+            assert stats["trials_executed"] == trials
+            assert {r.accepted for r in results} == {direct.estimate.accepted}, (
+                "service counts drifted from the direct orchestrator run"
+            )
+
+            # Sustained throughput over distinct cached-then-served keys:
+            # one pass populates, a second is pure cache traffic.
+            n_distinct = 8
+            distinct = [
+                ExperimentSpec(
+                    family="intersecting", k=2, t=1, word_seed=2,
+                    trials=trials, seed=3000 + i,
+                )
+                for i in range(n_distinct)
+            ]
+            with ServiceClient(port=svc.port) as client:
+                for s in distinct:  # populate
+                    client.query(s)
+                start = time.perf_counter()
+                for s in distinct:  # pure cache traffic
+                    client.query(s)
+                cached_s = time.perf_counter() - start
+
+            # Precision mode on a fresh key: target chosen to force at
+            # least one deepening round beyond the starting depth.
+            target = 0.02
+            with ServiceClient(port=svc.port) as client:
+                precise = client.query(
+                    family="intersecting", k=2, t=1, word_seed=2,
+                    trials=trials, seed=4006,
+                    target_halfwidth=target,
+                )
+            assert precise.halfwidth <= target
+            assert wilson_halfwidth(precise.accepted, precise.trials) <= target
+            assert precise.trials_executed == precise.trials, (
+                "precision rounds re-ran trials instead of extending the "
+                "seed-plan suffix"
+            )
+
+            record["service"] = {
+                "clients": n_clients,
+                "trials": trials,
+                "engine_runs": stats["engine_runs"],
+                "coalesced": stats["coalesced"],
+                "burst_seconds": round(burst_s, 4),
+                "matches_direct": True,
+                "cached_queries_per_second": round(n_distinct / cached_s, 1),
+                "precision": {
+                    "target_halfwidth": target,
+                    "halfwidth": round(precise.halfwidth, 5),
+                    "trials": precise.trials,
+                    "rounds": precise.rounds,
+                },
+            }
 
     _write_engine_record(record, smoke)

@@ -1,0 +1,96 @@
+"""The acceptance service, in process: coalescing and precision queries.
+
+Starts an AcceptanceService on a background thread (ServiceThread),
+then exercises the three behaviours that make it a serving layer
+rather than a remote function call:
+
+1. repeat queries are cache hits — the store is shared across clients;
+2. concurrent identical queries COALESCE onto one engine execution;
+3. a precision query (``target_halfwidth=``) deepens seed-exactly
+   until the Wilson 95% half-width meets the target.
+
+Run with: PYTHONPATH=src python examples/acceptance_service.py
+"""
+
+import tempfile
+import threading
+
+from repro.service import ServiceClient, ServiceThread
+
+N_BURST = 4  # concurrent identical clients for the coalescing demo
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServiceThread(f"{tmp}/store", workers=2) as svc:
+            print(f"service up on {svc.host}:{svc.port} (store: {tmp}/store)")
+
+            # 1. fresh, then cached: the second query costs zero trials.
+            with ServiceClient(port=svc.port) as client:
+                fresh = client.query(family="member", k=1, trials=400, seed=7)
+                cached = client.query(family="member", k=1, trials=400, seed=7)
+            print(
+                f"fresh:  source={fresh.source:5s}  accepted={fresh.accepted}"
+                f"/{fresh.trials}  trials_executed={fresh.trials_executed}"
+            )
+            print(
+                f"again:  source={cached.source:5s}  accepted={cached.accepted}"
+                f"/{cached.trials}  trials_executed={cached.trials_executed}"
+            )
+            assert cached.source == "cache" and cached.trials_executed == 0
+
+            # 2. a burst of identical concurrent queries: the service
+            # runs the engine once and everyone shares the counts.
+            with ServiceClient(port=svc.port) as client:
+                runs_before = client.stats()["engine_runs"]
+            results = [None] * N_BURST
+            barrier = threading.Barrier(N_BURST)
+
+            def burst(i: int) -> None:
+                with ServiceClient(port=svc.port) as c:
+                    barrier.wait()
+                    results[i] = c.query(
+                        family="intersecting", k=1, t=1, trials=5000, seed=11
+                    )
+
+            threads = [
+                threading.Thread(target=burst, args=(i,)) for i in range(N_BURST)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServiceClient(port=svc.port) as client:
+                stats = client.stats()
+            counts = {r.accepted for r in results}
+            engine_runs = stats["engine_runs"] - runs_before
+            print(
+                f"burst:  {N_BURST} identical concurrent queries -> "
+                f"{engine_runs} engine run(s), counts {counts}"
+            )
+            assert engine_runs == 1, "coalescing must cost exactly one run"
+            assert len(counts) == 1, "coalesced clients must agree on counts"
+
+            # 3. precision mode: keep deepening (seed-exactly) until the
+            # Wilson 95% half-width is at most 0.02.
+            with ServiceClient(port=svc.port) as client:
+                precise = client.query(
+                    family="intersecting", k=1, t=1, trials=500, seed=13,
+                    target_halfwidth=0.02,
+                )
+            lo, hi = precise.wilson95
+            print(
+                f"precision: p ~= {precise.probability:.4f} in "
+                f"[{lo:.4f}, {hi:.4f}] (half-width {precise.halfwidth:.4f} "
+                f"<= 0.02) after {precise.rounds} round(s), "
+                f"{precise.trials} trials"
+            )
+            assert precise.halfwidth <= 0.02
+            # Every round extended the same seed plan: on this fresh
+            # key, total executed == final depth, not a trial more.
+            assert precise.trials_executed == precise.trials
+    print("service demo ok")
+
+
+if __name__ == "__main__":
+    main()

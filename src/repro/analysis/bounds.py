@@ -69,12 +69,31 @@ def fit_power_curve(
     return is_bounded_by(xs, ys, lambda x: x**exponent)
 
 
+#: Two-sided 95% normal quantile — the default *z* for every Wilson
+#: helper below (kept as one constant so the interval, the half-width
+#: and the inversion all agree on what "95%" means).
+Z95 = 1.959963984540054
+
+
 def binomial_stderr(successes: int, trials: int) -> float:
     """Standard error of the empirical frequency ``successes / trials``.
 
     The plug-in estimate ``sqrt(p_hat (1 - p_hat) / trials)``; zero at
     the boundary frequencies, where the Wilson interval
     (:func:`wilson_interval`) remains informative.
+
+    Args:
+        successes: accepted-trial count, ``0 <= successes <= trials``.
+        trials: total trial count, must be positive.
+
+    Raises:
+        ValueError: on a non-positive ``trials`` or an out-of-range
+            ``successes`` (both indicate a corrupted count upstream).
+
+    >>> round(binomial_stderr(25, 100), 6)
+    0.043301
+    >>> binomial_stderr(100, 100)  # degenerate at the boundary
+    0.0
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -85,15 +104,32 @@ def binomial_stderr(successes: int, trials: int) -> float:
 
 
 def wilson_interval(
-    successes: int, trials: int, z: float = 1.959963984540054
+    successes: int, trials: int, z: float = Z95
 ) -> tuple[float, float]:
     """Wilson score interval for a binomial proportion.
 
-    The default *z* is the two-sided 95% normal quantile.  Unlike the
-    Wald interval ``p_hat +/- z * stderr``, the Wilson interval stays
-    inside [0, 1] and does not collapse to a point at 0 or *trials*
-    successes — which is exactly the regime the acceptance experiments
-    live in (the quantum recognizer accepts members with probability 1).
+    The default *z* is the two-sided 95% normal quantile (:data:`Z95`).
+    Unlike the Wald interval ``p_hat +/- z * stderr``, the Wilson
+    interval stays inside [0, 1] and does not collapse to a point at 0
+    or *trials* successes — which is exactly the regime the acceptance
+    experiments live in (the quantum recognizer accepts members with
+    probability 1).
+
+    Args:
+        successes: accepted-trial count, ``0 <= successes <= trials``.
+        trials: total trial count, must be positive.
+        z: normal quantile for the confidence level; must be positive.
+
+    Raises:
+        ValueError: on a non-positive ``trials``, an out-of-range
+            ``successes``, or a non-positive ``z``.
+
+    >>> lo, hi = wilson_interval(100, 100)
+    >>> round(lo, 4), hi   # informative even at p_hat = 1.0
+    (0.963, 1.0)
+    >>> lo, hi = wilson_interval(50, 100)
+    >>> round(lo, 4), round(hi, 4)
+    (0.4038, 0.5962)
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -109,6 +145,79 @@ def wilson_interval(
         z * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)) / denom
     )
     return (max(0.0, center - half), min(1.0, center + half))
+
+
+def wilson_halfwidth(successes: float, trials: int, z: float = Z95) -> float:
+    """Half the width of the (clipped) Wilson interval.
+
+    This is the service's precision figure of merit: a query with
+    ``target_halfwidth=h`` keeps deepening until this value drops to
+    *h* or below.  ``successes`` may be fractional — the formula only
+    consults the ratio — which is how :func:`trials_for_halfwidth`
+    evaluates hypothetical depths at a fixed ``p_hat``.
+
+    >>> wilson_halfwidth(50, 100) < wilson_halfwidth(25, 50)
+    True
+    >>> round(wilson_halfwidth(100, 100), 4)  # one-sided at p_hat = 1
+    0.0185
+    """
+    lo, hi = wilson_interval(successes, trials, z)
+    return (hi - lo) / 2.0
+
+
+def trials_for_halfwidth(
+    target: float, p_hat: float = 0.5, z: float = Z95
+) -> int:
+    """The smallest trial count whose Wilson half-width meets *target*.
+
+    Inverts :func:`wilson_halfwidth` in the trial count at a fixed
+    acceptance frequency ``p_hat`` (the half-width is strictly
+    decreasing in the depth, so the inverse is well defined; doubling
+    then bisection finds the exact minimum).  ``p_hat=0.5`` — the
+    default — is the worst case: any other frequency needs fewer
+    trials.  The precision loop
+    (:meth:`repro.lab.Orchestrator.run_to_precision`) re-plans each
+    round with the *measured* frequency, so early rounds may
+    under-shoot slightly and be topped up by a later round.
+
+    Args:
+        target: the half-width to reach; must lie in (0, 1).
+        p_hat: assumed acceptance frequency in [0, 1].
+        z: normal quantile for the confidence level; must be positive.
+
+    Raises:
+        ValueError: when *target* is outside (0, 1), *p_hat* outside
+            [0, 1], or the implied depth overflows the 2**40 sanity cap
+            (a target small enough to need a trillion trials is almost
+            certainly a unit mistake).
+
+    >>> n = trials_for_halfwidth(0.01)
+    >>> wilson_halfwidth(n * 0.5, n) <= 0.01 < wilson_halfwidth((n - 1) * 0.5, n - 1)
+    True
+    >>> trials_for_halfwidth(0.01, p_hat=1.0) < trials_for_halfwidth(0.01)
+    True
+    """
+    if not 0.0 < target < 1.0:
+        raise ValueError("target half-width must lie in (0, 1)")
+    if not 0.0 <= p_hat <= 1.0:
+        raise ValueError("p_hat must lie in [0, 1]")
+    if z <= 0:
+        raise ValueError("z must be positive")
+    hi = 1
+    while wilson_halfwidth(p_hat * hi, hi, z) > target:
+        hi *= 2
+        if hi > 1 << 40:
+            raise ValueError(
+                f"target half-width {target!r} needs more than 2**40 trials"
+            )
+    lo = max(1, hi // 2)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if wilson_halfwidth(p_hat * mid, mid, z) <= target:
+            hi = mid
+        else:
+            lo = mid + 1
+    return hi
 
 
 def growth_ratio(values: Sequence[float]) -> list[float]:

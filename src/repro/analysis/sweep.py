@@ -69,6 +69,27 @@ def acceptance_sweep(
     too never changes a sweep's statistics.  It only applies when
     *backend* is a registry name — a configured backend instance
     already carries its own budget.
+
+    Seeding semantics: word *i* samples under the *i*-th spawned child
+    of ``rng`` — fixed by word order, not by backend or store, so any
+    two calls with the same seed and word list agree count-for-count.
+
+    Failure modes: ``ValueError`` for unknown backend/recognizer names,
+    non-positive trials, or a configured backend instance combined
+    with ``store=`` / ``max_batch_bytes=`` (specs and budgets need a
+    name, not an instance).
+
+    >>> from repro.core import member
+    >>> import numpy as np
+    >>> words = [("m1", member(1, np.random.default_rng(0)))]
+    >>> [(label, est.accepted) for label, est in
+    ...  acceptance_sweep(words, trials=50, rng=7)]
+    [('m1', 50)]
+    >>> import tempfile
+    >>> with tempfile.TemporaryDirectory() as tmp:   # cached: same counts
+    ...     [(_, cached)] = acceptance_sweep(words, trials=50, rng=7, store=tmp)
+    >>> cached.accepted
+    50
     """
     from ..engine import ExecutionEngine
 

@@ -14,6 +14,12 @@ Commands
 * ``lab``         — the persistent experiment store: ``lab run`` caches
   and deepens acceptance experiments, ``lab status`` / ``lab report``
   inspect the store.
+* ``serve``       — run the acceptance service: a long-lived daemon
+  that shares one store and engine across concurrent socket clients
+  (request coalescing, bounded worker pool, precision mode).
+* ``query``       — query a running service (``--target-halfwidth``
+  for precision mode; ``--stats`` / ``--ping`` / ``--shutdown-server``
+  for operations).
 """
 
 from __future__ import annotations
@@ -44,9 +50,14 @@ def _cmd_info(args: argparse.Namespace) -> int:
         f"Recognizers (--recognizer):  {', '.join(RECOGNIZERS)}\n"
         "Memory budget (--memory-budget): tile dense trial batches to a\n"
         "  byte cap (e.g. 256M); counts are identical to unbudgeted runs\n"
+        "Service: `repro serve` shares one store/engine across concurrent\n"
+        "  clients (request coalescing, precision mode); `repro query`\n"
+        "  talks to it; Python: repro.service.{AcceptanceService,\n"
+        "  ServiceClient, ServiceThread}\n"
         "\n"
-        "See DESIGN.md for the system inventory, EXPERIMENTS.md for the\n"
-        "paper-vs-measured record, benchmarks/ for the regeneration harness."
+        "See docs/ARCHITECTURE.md for the layer map and the invariants,\n"
+        "benchmarks/ for the regeneration harness (benchmarks/README.md\n"
+        "documents the tracked BENCH_engine.json / BENCH_history.jsonl)."
     )
     return 0
 
@@ -257,6 +268,98 @@ def _cmd_lab_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service import AcceptanceService
+
+    service = AcceptanceService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch_bytes=args.memory_budget,
+    )
+
+    async def _serve() -> None:
+        host, port = await service.start()
+        print(
+            f"repro service listening on {host}:{port}  "
+            f"store={args.store}  workers={args.workers}",
+            flush=True,
+        )
+        await service.wait_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro service stopped")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    try:
+        with client:
+            if args.ping:
+                info = client.ping()
+                print(f"pong from {args.host}:{args.port}  "
+                      f"repro {info['version']}  protocol {info['protocol']}")
+                return 0
+            if args.stats:
+                stats = client.stats()
+                for field in sorted(stats):
+                    print(f"{field} = {stats[field]}")
+                return 0
+            if args.shutdown_server:
+                client.shutdown()
+                print(f"service at {args.host}:{args.port} stopping")
+                return 0
+            try:
+                spec = _lab_spec(args)
+            except ValueError as exc:
+                print(f"query: {exc}", file=sys.stderr)
+                return 2
+            result = client.query(
+                spec,
+                target_halfwidth=args.target_halfwidth,
+                max_batch_bytes=args.memory_budget,
+            )
+    except ServiceError as exc:
+        print(f"query: service error ({exc.kind}): {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"query: cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    coalesced = "yes" if result.coalesced else "no"
+    print(f"key={result.key[:16]}  {spec.describe()}  via {args.host}:{args.port}")
+    print(
+        f"source={result.source}  coalesced={coalesced}  "
+        f"trials_executed={result.trials_executed}  base_trials={result.base_trials}"
+    )
+    print(
+        f"backend={result.backend}  recognizer={result.recognizer}  "
+        f"trials={result.trials}  accepted={result.accepted}  "
+        f"Pr[accept] ~= {result.probability:.4f}"
+    )
+    lo, hi = result.wilson95
+    print(
+        f"stderr = {result.stderr:.4f}; Wilson 95% CI [{lo:.4f}, {hi:.4f}] "
+        f"(half-width {result.halfwidth:.4f})"
+    )
+    if result.rounds is not None:
+        print(
+            f"precision: target half-width {result.target_halfwidth}  "
+            f"rounds={result.rounds}"
+        )
+    return 0
+
+
 def _cmd_separation(args: argparse.Namespace) -> int:
     from .analysis import Table
     from .core import separation_table
@@ -430,6 +533,76 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--store", default=store_default,
                      help="store directory (env REPRO_LAB_STORE)")
     run.set_defaults(func=_cmd_lab_run)
+
+    # Mirrors repro.service.protocol.DEFAULT_PORT; kept literal so the
+    # parser never imports the service package (every other heavy
+    # dependency here is deferred into its _cmd_* handler too).  A
+    # tests/service/ check asserts the two stay in sync.
+    DEFAULT_PORT = 7906
+
+    serve = sub.add_parser(
+        "serve", help="run the acceptance service (long-lived daemon)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help=f"TCP port (0 = OS-assigned; default {DEFAULT_PORT})")
+    serve.add_argument("--store", default=store_default,
+                       help="store directory (env REPRO_LAB_STORE)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="engine worker pool size (concurrent engine runs)")
+    serve.add_argument(
+        "--memory-budget",
+        type=_parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help="default working-set cap for engine runs (per-query "
+        "max_batch_bytes overrides it)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="query a running acceptance service"
+    )
+    _add_word_args(query)
+    query.add_argument("--trials", type=int, default=1000)
+    query.add_argument(
+        "--backend",
+        default="batched",
+        choices=["sequential", "batched", "multiprocess", "sharedmem"],
+        help="execution backend for any trials the service must run",
+    )
+    query.add_argument(
+        "--recognizer",
+        default="quantum",
+        choices=["quantum", "classical-blockwise", "classical-full"],
+        help="which machine to sample",
+    )
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=DEFAULT_PORT)
+    query.add_argument("--timeout", type=float, default=600.0,
+                       help="seconds to wait for the response")
+    query.add_argument(
+        "--target-halfwidth",
+        type=float,
+        default=None,
+        metavar="H",
+        help="precision mode: deepen seed-exactly until the Wilson 95%% "
+        "half-width is at most H",
+    )
+    query.add_argument(
+        "--memory-budget",
+        type=_parse_memory_budget,
+        default=None,
+        metavar="BYTES",
+        help="per-query working-set cap (counts unchanged)",
+    )
+    query.add_argument("--stats", action="store_true",
+                       help="print the service's counters and exit")
+    query.add_argument("--ping", action="store_true",
+                       help="liveness check and exit")
+    query.add_argument("--shutdown-server", action="store_true",
+                       help="ask the service to stop and exit")
+    query.set_defaults(func=_cmd_query)
 
     status = labsub.add_parser("status", help="store summary")
     status.add_argument("--store", default=store_default,

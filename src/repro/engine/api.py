@@ -72,6 +72,26 @@ def trial_seed_plan(rng: RngLike, trials: int) -> List[int]:
     consult their child generators, so for them the plan is a valid —
     if unused — slicing vocabulary: feeding any slice of it still
     produces the right counts.
+
+    Args:
+        rng: anything :func:`repro.rng.ensure_rng` accepts — an int
+            seed, a ``Generator``, a ``SeedSequence``, or ``None`` for
+            the library default.  Generators must be SeedSequence-based
+            (``numpy.random.default_rng``) or ``TypeError`` is raised;
+            a generator that has already spawned children yields a
+            *different* plan than its seed would (the spawn counter has
+            advanced), so pass the seed itself when you need the
+            resumption contract.
+        trials: plan length; ``0`` is legal (an empty plan),
+            negative raises ``ValueError``.
+
+    Plans are prefix-stable — a shorter plan from the same seed is a
+    prefix of a longer one, which is exactly the resumption contract:
+
+    >>> trial_seed_plan(7, 4) == trial_seed_plan(7, 9)[:4]
+    True
+    >>> trial_seed_plan(7, 0)
+    []
     """
     if trials < 0:
         raise ValueError("trials must be non-negative")
@@ -218,9 +238,34 @@ def get_backend(spec: BackendSpec = "batched", **options: Any) -> ExecutionBacke
 class ExecutionEngine:
     """Front door: estimate acceptance probabilities through a backend.
 
-    >>> engine = ExecutionEngine("batched")
-    >>> est = engine.estimate_acceptance(word, trials=1000, rng=7)
-    >>> est.probability
+    Args:
+        backend: a registry name (``"sequential"``, ``"batched"``,
+            ``"multiprocess"``, ``"sharedmem"``) or a configured
+            :class:`ExecutionBackend` instance.  ``**options`` go to
+            the named backend's constructor (e.g.
+            ``max_batch_bytes=``, ``shard_trials=``) and are rejected
+            alongside an instance.
+
+    Seeding semantics: the ``rng`` passed to each call is the *parent*
+    of the per-trial (and, for :meth:`run_many`, per-word) child
+    streams, derived via ``SeedSequence`` spawning — so a fixed seed
+    gives identical acceptance counts on every backend, and switching
+    backend is purely a throughput decision.
+
+    Failure modes: unknown backend or recognizer names raise
+    ``ValueError`` at construction / call time; the process-pool
+    backends degrade *inline* (same counts, no parallelism) when pools
+    are unavailable rather than raising.
+
+    >>> from repro.core import member
+    >>> import numpy as np
+    >>> word = member(1, np.random.default_rng(0))
+    >>> est = ExecutionEngine("batched").estimate_acceptance(word, trials=200, rng=7)
+    >>> est.accepted, est.probability   # members are accepted w.p. 1
+    (200, 1.0)
+    >>> seq = ExecutionEngine("sequential").estimate_acceptance(word, trials=200, rng=7)
+    >>> est.accepted == seq.accepted    # the seeding contract
+    True
     """
 
     def __init__(self, backend: BackendSpec = "batched", **options: Any) -> None:

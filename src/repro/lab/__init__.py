@@ -29,7 +29,7 @@ Entry points: ``Orchestrator(store).run(spec)`` from code,
 
 from .spec import ExperimentSpec, WORD_FAMILIES
 from .store import LabRecord, ResultStore, SCHEMA_VERSION, StoreScan
-from .orchestrator import LabRunResult, Orchestrator
+from .orchestrator import LabRunResult, Orchestrator, PrecisionRunResult
 
 __all__ = [
     "ExperimentSpec",
@@ -40,4 +40,5 @@ __all__ = [
     "StoreScan",
     "LabRunResult",
     "Orchestrator",
+    "PrecisionRunResult",
 ]

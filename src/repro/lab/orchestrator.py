@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from ..analysis.bounds import Z95, trials_for_halfwidth, wilson_halfwidth
 from ..engine.api import AcceptanceEstimate, get_backend, trial_seed_plan
 from .spec import ExperimentSpec
 from .store import LabRecord, ResultStore
@@ -44,6 +45,33 @@ class LabRunResult:
     @property
     def cached(self) -> bool:
         return self.source == "cache"
+
+
+@dataclass(frozen=True)
+class PrecisionRunResult:
+    """Outcome of a precision-mode run (:meth:`Orchestrator.run_to_precision`).
+
+    ``trials_executed`` sums the engine trials across *all* deepening
+    rounds — on a fresh key it equals the final depth exactly, because
+    every round runs only its seed-plan suffix.  ``executed_rounds``
+    counts the rounds that reached the engine (cache-served rounds are
+    free), which is what the service reports as engine executions.
+    """
+
+    final: LabRunResult  # the round that met the target
+    halfwidth: float  # achieved Wilson half-width at the final depth
+    target_halfwidth: float
+    rounds: int  # orchestrator runs issued (>= 1)
+    executed_rounds: int  # rounds that executed > 0 engine trials
+    trials_executed: int  # engine trials summed across rounds
+
+    @property
+    def estimate(self) -> AcceptanceEstimate:
+        return self.final.estimate
+
+    @property
+    def key(self) -> str:
+        return self.final.key
 
 
 class Orchestrator:
@@ -77,7 +105,43 @@ class Orchestrator:
         return get_backend(spec.backend, **options)
 
     def run(self, spec: ExperimentSpec) -> LabRunResult:
-        """Satisfy *spec* from the store, deepening or running as needed."""
+        """Satisfy *spec* from the store, deepening or running as needed.
+
+        Args:
+            spec: the experiment to satisfy.  ``spec.trials`` is the
+                requested depth; ``spec.backend`` only chooses *how*
+                missing trials execute (counts are backend-invariant by
+                the engine's seeding contract, so it is not part of the
+                cache key).
+
+        Returns:
+            A :class:`LabRunResult` whose ``source`` says how the
+            request was met: ``"cache"`` (exact-depth checkpoint,
+            zero engine trials), ``"deepened"`` (only the seed-plan
+            suffix ``done..trials`` ran) or ``"fresh"`` (the full plan
+            ran).  A new cumulative checkpoint is appended on every
+            non-cache outcome.
+
+        Failure modes: backend resolution raises ``ValueError`` for an
+        unknown name; store I/O errors (unwritable directory) propagate
+        as ``OSError``.  A corrupt store never raises here — unreadable
+        checkpoint lines are skipped by the reader, at worst costing a
+        re-run of trials that were already paid for.
+
+        >>> import tempfile
+        >>> from repro.lab import ExperimentSpec, Orchestrator
+        >>> tmp = tempfile.TemporaryDirectory()
+        >>> orch = Orchestrator(tmp.name)
+        >>> spec = ExperimentSpec(family="member", k=1, trials=60, seed=7)
+        >>> r1 = orch.run(spec); (r1.source, r1.trials_executed)
+        ('fresh', 60)
+        >>> r2 = orch.run(spec); (r2.source, r2.trials_executed)
+        ('cache', 0)
+        >>> r3 = orch.run(spec.with_trials(100))   # only 60..100 run
+        >>> (r3.source, r3.trials_executed, r3.estimate.accepted)
+        ('deepened', 40, 100)
+        >>> tmp.cleanup()
+        """
         key = spec.key
         ladder = self.store.checkpoints(key)
         for record in ladder:
@@ -120,6 +184,88 @@ class Orchestrator:
             base_trials=done,
             key=key,
         )
+
+    def run_to_precision(
+        self,
+        spec: ExperimentSpec,
+        target_halfwidth: float,
+        *,
+        z: float = Z95,
+        max_rounds: int = 12,
+        max_trials: Optional[int] = None,
+    ) -> PrecisionRunResult:
+        """Deepen *spec* until its Wilson half-width meets a target.
+
+        Runs ``spec`` at its requested depth, then — while the Wilson
+        interval's half-width (:func:`repro.analysis.bounds.wilson_halfwidth`)
+        still exceeds *target_halfwidth* — re-plans the depth from the
+        measured frequency (:func:`~repro.analysis.bounds.trials_for_halfwidth`)
+        and deepens.  Every round goes through :meth:`run`, so it
+        executes only the seed-plan suffix beyond the deepest stored
+        checkpoint: on a fresh key the total ``trials_executed`` equals
+        the final depth exactly, and a repeat call at the same target
+        is a pure cache hit.
+
+        Args:
+            spec: the experiment; ``spec.trials`` is the *starting*
+                depth (the floor — precision mode only ever deepens).
+            target_halfwidth: the half-width to reach, in (0, 1).
+            z: normal quantile defining the confidence level.
+            max_rounds: safety bound on orchestrator rounds; the
+                re-planning loop converges in 2-3 rounds in practice,
+                so hitting this indicates something is wrong.
+            max_trials: optional hard cap on the planned depth —
+                exceeded means ``ValueError`` *before* any further
+                trials run, so a too-ambitious target fails fast.
+
+        Raises:
+            ValueError: for a target outside (0, 1), or when the next
+                planned depth would exceed *max_trials*.
+            RuntimeError: when *max_rounds* rounds did not reach the
+                target (should not happen: each round's plan is exact
+                for the frequency it observed).
+        """
+        if not 0.0 < target_halfwidth < 1.0:
+            raise ValueError("target_halfwidth must lie in (0, 1)")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be at least 1")
+        rounds = 0
+        executed_rounds = 0
+        executed = 0
+        current = spec
+        while True:
+            run = self.run(current)
+            rounds += 1
+            if run.trials_executed > 0:
+                executed_rounds += 1
+                executed += run.trials_executed
+            est = run.estimate
+            half = wilson_halfwidth(est.accepted, est.trials, z)
+            if half <= target_halfwidth:
+                return PrecisionRunResult(
+                    final=run,
+                    halfwidth=half,
+                    target_halfwidth=target_halfwidth,
+                    rounds=rounds,
+                    executed_rounds=executed_rounds,
+                    trials_executed=executed,
+                )
+            if rounds >= max_rounds:
+                raise RuntimeError(
+                    f"half-width {half:.4g} > target {target_halfwidth:.4g} "
+                    f"after {rounds} rounds ({est.trials} trials)"
+                )
+            planned = trials_for_halfwidth(target_halfwidth, est.probability, z)
+            # The model half-width at the current depth matched the
+            # measured one, so planned > est.trials here; max() guards
+            # the invariant rather than establishing it.
+            next_trials = max(planned, est.trials + 1)
+            if max_trials is not None and next_trials > max_trials:
+                raise ValueError(
+                    f"target half-width {target_halfwidth!r} needs "
+                    f"~{next_trials} trials, above max_trials={max_trials}"
+                )
+            current = current.with_trials(next_trials)
 
     @staticmethod
     def _estimate(spec: ExperimentSpec, record: LabRecord) -> AcceptanceEstimate:

@@ -46,6 +46,38 @@ class ExperimentSpec:
     families); ``seed`` is the parent seed of the trial stream.  They
     default to the same value so the CLI's single ``--seed`` flag keeps
     its historical meaning.
+
+    Args:
+        family: one of :data:`WORD_FAMILIES`; forced to ``"explicit"``
+            when *word* is given.
+        k: the paper's size parameter (``|x| = 2^{2k}``).
+        t: intersection size for the ``intersecting`` family.
+        word: an explicit word over ``{0,1,#}``, overriding the family.
+        word_seed: seed for the word generator.
+        recognizer: which machine to sample (see
+            :data:`repro.engine.RECOGNIZERS`).
+        backend: how missing trials execute — an execution detail,
+            NOT identity.
+        trials: requested depth — deepenable, NOT identity.
+        seed: parent seed of the per-trial child streams — identity.
+
+    Failure modes: construction raises ``ValueError`` for non-positive
+    trials, unknown recognizers/families, ``family="explicit"``
+    without a word, or ``intersecting`` with ``t < 1``.
+
+    Two specs are the same experiment exactly when their keys match:
+
+    >>> spec = ExperimentSpec(family="member", k=1, trials=1000, seed=7)
+    >>> spec.key == spec.with_trials(10**6).key     # depth is not identity
+    True
+    >>> from dataclasses import replace
+    >>> spec.key == replace(spec, backend="sequential").key  # nor the backend
+    True
+    >>> spec.key == replace(spec, seed=8).key       # the seed IS
+    False
+    >>> explicit = ExperimentSpec(word=spec.resolve_word(), seed=7)
+    >>> spec.key == explicit.key   # same word however it arrived
+    True
     """
 
     family: str = "member"

@@ -1,0 +1,46 @@
+"""repro.service — the acceptance experiments as a long-lived daemon.
+
+The lab made experiments durable; the service makes them *shared*.
+One process owns the store and the engine, many concurrent clients
+query it over a line-delimited JSON socket protocol
+(:mod:`repro.service.protocol`), and three mechanics keep heavy
+traffic cheap:
+
+* **request coalescing** — concurrent identical queries share one
+  in-flight engine run (counts byte-identical to a solo run), and
+  same-key requests at different depths serialize so the deeper one
+  extends the shallower one's seed-plan suffix instead of re-running
+  it;
+* a **bounded worker pool** — engine calls run on a fixed-size thread
+  pool off the event loop, so the listener never blocks on NumPy;
+* **precision mode** — ``target_halfwidth=`` queries deepen
+  seed-exactly until the Wilson 95% half-width meets the target.
+
+Entry points: :class:`AcceptanceService` (asyncio, in-process),
+:class:`ServiceThread` (background-thread wrapper for blocking code),
+:class:`ServiceClient` (blocking socket client), and the CLI pair
+``python -m repro serve`` / ``python -m repro query``.
+"""
+
+from .protocol import (
+    DEFAULT_PORT,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ServiceError,
+)
+from .server import AcceptanceService, ServiceStats, ServiceThread
+from .client import QueryResult, ServiceClient
+
+__all__ = [
+    "DEFAULT_PORT",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceError",
+    "AcceptanceService",
+    "ServiceStats",
+    "ServiceThread",
+    "QueryResult",
+    "ServiceClient",
+]

@@ -1,0 +1,126 @@
+"""Precision mode: half-width inversion + seed-exact deepening rounds."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    Z95,
+    trials_for_halfwidth,
+    wilson_halfwidth,
+    wilson_interval,
+)
+from repro.engine import ExecutionEngine
+from repro.lab import ExperimentSpec, Orchestrator
+
+
+class TestHalfwidthInversion:
+    def test_halfwidth_matches_interval(self):
+        lo, hi = wilson_interval(37, 120)
+        assert wilson_halfwidth(37, 120) == pytest.approx((hi - lo) / 2)
+
+    def test_halfwidth_decreases_with_depth(self):
+        widths = [wilson_halfwidth(n // 2, n) for n in (10, 100, 1000, 10000)]
+        assert widths == sorted(widths, reverse=True)
+
+    @pytest.mark.parametrize("p_hat", [0.0, 0.1, 0.5, 0.9, 1.0])
+    @pytest.mark.parametrize("target", [0.2, 0.05, 0.01])
+    def test_inversion_is_exact_minimum(self, p_hat, target):
+        n = trials_for_halfwidth(target, p_hat)
+        assert wilson_halfwidth(p_hat * n, n) <= target
+        if n > 1:
+            assert wilson_halfwidth(p_hat * (n - 1), n - 1) > target
+
+    def test_worst_case_is_half(self):
+        # p = 0.5 maximizes the variance term, so it needs the most trials.
+        n_half = trials_for_halfwidth(0.02, 0.5)
+        for p_hat in (0.0, 0.2, 0.8, 1.0):
+            assert trials_for_halfwidth(0.02, p_hat) <= n_half
+
+    def test_inversion_monotone_in_target(self):
+        assert trials_for_halfwidth(0.005) > trials_for_halfwidth(0.01)
+
+    def test_inversion_validation(self):
+        for bad_target in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                trials_for_halfwidth(bad_target)
+        with pytest.raises(ValueError):
+            trials_for_halfwidth(0.1, p_hat=1.5)
+        with pytest.raises(ValueError):
+            trials_for_halfwidth(0.1, z=0.0)
+
+    def test_custom_z_threads_through(self):
+        # A looser quantile needs fewer trials for the same target.
+        assert trials_for_halfwidth(0.05, z=1.0) < trials_for_halfwidth(0.05, z=Z95)
+
+
+class TestRunToPrecision:
+    def test_member_word_deepens_to_target(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(family="member", k=1, trials=50, seed=7)
+        result = orch.run_to_precision(spec, 0.01)
+        assert result.halfwidth <= 0.01
+        assert result.estimate.trials > 50  # 50 trials cannot reach 0.01
+        # Fresh key: every round ran only its seed-plan suffix, so the
+        # total executed equals the final depth exactly.
+        assert result.trials_executed == result.estimate.trials
+        assert result.rounds >= 2
+        assert result.executed_rounds == result.rounds
+
+    def test_counts_identical_to_fresh_run_at_final_depth(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(
+            family="intersecting", k=1, t=1, trials=100, seed=11, word_seed=11
+        )
+        result = orch.run_to_precision(spec, 0.04)
+        assert result.halfwidth <= 0.04
+        fresh = ExecutionEngine("batched").estimate_acceptance(
+            spec.resolve_word(),
+            result.estimate.trials,
+            rng=spec.seed,
+            recognizer=spec.recognizer,
+        )
+        assert result.estimate.accepted == fresh.accepted
+
+    def test_repeat_is_pure_cache(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(family="member", k=1, trials=60, seed=3)
+        first = orch.run_to_precision(spec, 0.02)
+        again = orch.run_to_precision(spec, 0.02)
+        assert again.trials_executed == 0
+        assert again.executed_rounds == 0
+        assert again.estimate.accepted == first.estimate.accepted
+        assert again.final.source == "cache"
+
+    def test_already_precise_enough_runs_once(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(family="member", k=1, trials=500, seed=5)
+        result = orch.run_to_precision(spec, 0.2)  # 500 trials overshoot 0.2
+        assert result.rounds == 1
+        assert result.estimate.trials == 500
+
+    def test_spec_trials_is_a_floor_not_a_restart(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(family="member", k=1, trials=80, seed=9)
+        orch.run(spec)  # pre-existing shallow checkpoint
+        result = orch.run_to_precision(spec, 0.02)
+        # The stored 80 trials were reused: executed = final - 80.
+        assert result.trials_executed == result.estimate.trials - 80
+
+    def test_max_trials_fails_fast(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(
+            family="intersecting", k=1, t=1, trials=50, seed=13, word_seed=13
+        )
+        with pytest.raises(ValueError, match="max_trials"):
+            orch.run_to_precision(spec, 0.001, max_trials=1000)
+        # The starting round ran (and is cached); nothing deeper did.
+        deepest = orch.store.deepest(spec.key)
+        assert deepest is not None and deepest.trials == 50
+
+    def test_target_validation(self, tmp_path):
+        orch = Orchestrator(tmp_path / "store")
+        spec = ExperimentSpec(family="member", k=1, trials=50, seed=1)
+        for bad in (0.0, 1.0, -0.1):
+            with pytest.raises(ValueError):
+                orch.run_to_precision(spec, bad)
+        with pytest.raises(ValueError):
+            orch.run_to_precision(spec, 0.1, max_rounds=0)
