@@ -33,7 +33,7 @@ import numpy as np
 
 def _cmd_info(args: argparse.Namespace) -> int:
     from . import __version__
-    from .engine import RECOGNIZERS, available_backends
+    from .engine import RECOGNIZERS, available_backends, describe_backends
 
     print(f"repro {__version__}")
     print(
@@ -47,7 +47,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         "  Prop. 3.7     classical online upper bound O(n^{1/3})\n"
         "\n"
         f"Engine backends (--backend): {', '.join(available_backends())}\n"
-        f"Recognizers (--recognizer):  {', '.join(RECOGNIZERS)}\n"
+        + "".join(f"  {line}\n" for line in describe_backends())
+        + f"Recognizers (--recognizer):  {', '.join(RECOGNIZERS)}\n"
         "Memory budget (--memory-budget): tile dense trial batches to a\n"
         "  byte cap (e.g. 256M); counts are identical to unbudgeted runs\n"
         "Service: `repro serve` shares one store/engine across concurrent\n"
@@ -138,6 +139,23 @@ def _parse_memory_budget(text: Optional[str]) -> Optional[int]:
     if budget <= 0:
         raise argparse.ArgumentTypeError("memory budget must be positive")
     return budget
+
+
+def _backend_arg(text: str) -> str:
+    """``--backend`` values: any *registered* engine backend name.
+
+    Validated against the live registry (not a frozen ``choices=``
+    list), so the error names every backend with its availability —
+    including why ``gpu`` would degrade on this machine.
+    """
+    from .engine import available_backends, describe_backends
+
+    if text in available_backends():
+        return text
+    listing = "; ".join(describe_backends())
+    raise argparse.ArgumentTypeError(
+        f"unknown backend {text!r}; registered backends: {listing}"
+    )
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
@@ -452,8 +470,10 @@ def build_parser() -> argparse.ArgumentParser:
     samp.add_argument(
         "--backend",
         default="batched",
-        choices=["sequential", "batched", "multiprocess", "sharedmem"],
-        help="execution backend",
+        type=_backend_arg,
+        help="execution backend (sequential | batched | multiprocess | "
+        "sharedmem | gpu; gpu degrades to the identical numpy path "
+        "when no device is visible)",
     )
     samp.add_argument(
         "--memory-budget",
@@ -513,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--backend",
         default="batched",
-        choices=["sequential", "batched", "multiprocess", "sharedmem"],
+        type=_backend_arg,
         help="execution backend (does not affect counts or cache keys)",
     )
     run.add_argument(
@@ -568,7 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--backend",
         default="batched",
-        choices=["sequential", "batched", "multiprocess", "sharedmem"],
+        type=_backend_arg,
         help="execution backend for any trials the service must run",
     )
     query.add_argument(

@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from ..quantum.grover import marked_probability
+from ..quantum.grover import marked_probabilities, marked_probability
 from ..quantum.operators import (
     RxOperator,
     SkOperator,
@@ -35,6 +35,7 @@ from ..quantum.operators import (
 from ..quantum.registers import A3Registers
 from ..quantum.state import BatchedStateVector, StateVector
 from ..rng import ensure_rng, resolve_trial_seeds, spawn
+from ..xp import to_numpy
 from ..streaming.combinators import ParallelComposition
 from ..mathx.primes import fingerprint_prime
 from .a1_format import A1FormatCheck
@@ -139,7 +140,7 @@ def exact_a2_pass_probability(word: str, max_k: int = 3) -> float:
 # ---------------------------------------------------------------------------
 
 
-def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
+def batched_a3_detection(k: int, blocks: list[str], js, xp=None) -> np.ndarray:
     """Exact Pr[b = 1] of A3's final measurement for each j in *js*.
 
     The batched counterpart of :func:`exact_a3_detection_for_blocks`:
@@ -150,7 +151,14 @@ def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
     block string.  Row ``i`` undergoes float-for-float the same
     operation sequence as a sequential run with ``j = js[i]``, so the
     returned probabilities are bit-identical to the per-trial path.
+
+    *xp* (numpy when omitted) is the array namespace the state batch
+    lives in — the ``gpu`` engine backend passes a device namespace so
+    the whole evolution runs on the device; masks and the returned
+    probabilities stay host-side numpy either way.
     """
+    host = xp is None or xp is np
+    xp = np if host else xp
     regs = A3Registers(k)
     js = np.asarray(js, dtype=np.int64)
     if js.ndim != 1 or js.size == 0:
@@ -160,9 +168,10 @@ def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
     states = BatchedStateVector.broadcast(
         StateVector(initial_phi(regs), check=False), js.size
     )
-    batch = states.amplitudes
-    uk = UkOperator(regs)
-    sk = SkOperator(regs)
+    batch = states.amplitudes if host else xp.asarray(states.amplitudes)
+    op_xp = None if host else xp
+    uk = UkOperator(regs, xp=op_xp)
+    sk = SkOperator(regs, xp=op_xp)
     vx: dict[str, VxOperator] = {}
     wx: dict[str, WxOperator] = {}
     rx: dict[str, RxOperator] = {}
@@ -170,10 +179,11 @@ def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
     def masked(mask: np.ndarray, *ops) -> None:
         if not mask.any():
             return
-        sub = batch[mask]
+        rows = mask if host else xp.asarray(mask)
+        sub = batch[rows]
         for op in ops:
             sub = op.apply(sub)
-        batch[mask] = sub
+        batch[rows] = sub
 
     for b, s in enumerate(blocks):
         r, typ = b // 3, b % 3
@@ -181,17 +191,17 @@ def batched_a3_detection(k: int, blocks: list[str], js) -> np.ndarray:
         closing = js == r   # rows in repetition j + 1 (the V/R finish)
         if typ == 0:
             # x block: V_x for running and closing rows alike.
-            op = vx.get(s) or vx.setdefault(s, VxOperator(regs, s))
+            op = vx.get(s) or vx.setdefault(s, VxOperator(regs, s, xp=op_xp))
             masked(running | closing, op)
         elif typ == 1:
             # y block: W_y while iterating, R_y at the finish.
-            masked(running, wx.get(s) or wx.setdefault(s, WxOperator(regs, s)))
-            masked(closing, rx.get(s) or rx.setdefault(s, RxOperator(regs, s)))
+            masked(running, wx.get(s) or wx.setdefault(s, WxOperator(regs, s, xp=op_xp)))
+            masked(closing, rx.get(s) or rx.setdefault(s, RxOperator(regs, s, xp=op_xp)))
         else:
             # z block: V_z then the diffusion closes a full iteration.
-            masked(running, vx.get(s) or vx.setdefault(s, VxOperator(regs, s)), uk, sk, uk)
+            masked(running, vx.get(s) or vx.setdefault(s, VxOperator(regs, s, xp=op_xp)), uk, sk, uk)
     # Exact Pr[l = 1] per row; the l qubit is "the last qubit" of step 5.
-    return np.array([marked_probability(batch[i], regs) for i in range(js.size)])
+    return marked_probabilities(batch, regs, xp=op_xp)
 
 
 def _decide_quantum_tile(
@@ -201,6 +211,7 @@ def _decide_quantum_tile(
     m: int,
     seeds: list[int],
     detection_cache: dict[int, float],
+    xp=None,
 ) -> np.ndarray:
     """Accept decisions for one tile of trials, from explicit child seeds.
 
@@ -210,6 +221,12 @@ def _decide_quantum_tile(
     distinct counts is evolved once per word however many tiles the run
     is split into (only scalars are retained, so the cache never eats
     into the byte budget).
+
+    RNG spawning and the per-trial accept decisions always stay on the
+    host; *xp* only moves the A2 Horner sweep and the A3 state evolution
+    into another namespace, so counts are namespace-invariant whenever
+    the namespace's float arithmetic is (and exactly bit-stable on any
+    CPU namespace, where the operation sequence is identical).
     """
     n = len(seeds)
     ts = np.empty(n, dtype=np.int64)
@@ -220,11 +237,13 @@ def _decide_quantum_tile(
         ts[i] = r1.integers(0, p)
         js[i] = r2.integers(0, m)
         coins[i] = r2.random()
-    a2_ok = a2_passes_at_points(k, blocks, ts)
+    a2_ok = to_numpy(a2_passes_at_points(k, blocks, ts, p=p, xp=xp))
     unique_js, inverse = np.unique(js, return_inverse=True)
     missing = [int(j) for j in unique_js if int(j) not in detection_cache]
     if missing:
-        probs = batched_a3_detection(k, blocks, np.asarray(missing, dtype=np.int64))
+        probs = batched_a3_detection(
+            k, blocks, np.asarray(missing, dtype=np.int64), xp=xp
+        )
         detection_cache.update(zip(missing, (float(q) for q in probs)))
     detection = np.array([detection_cache[int(j)] for j in unique_js])[inverse]
     a3_ok = ~(coins < detection)  # b = 1 (intersection seen) rejects
@@ -238,6 +257,7 @@ def sample_acceptance_batch(
     trial_seeds=None,
     max_batch_bytes: Optional[int] = None,
     chunk_trials: Optional[int] = None,
+    xp=None,
 ) -> np.ndarray:
     """Per-trial accept decisions of the recognizer, computed batched.
 
@@ -258,6 +278,10 @@ def sample_acceptance_batch(
     concatenated decisions are byte-identical to the untiled run while
     the working set stays within the budget.  Returns a boolean array
     of length *trials*.
+
+    *xp* (numpy when omitted) is the array namespace the dense sweeps
+    run in (see :mod:`repro.xp`); trial randomness and the decisions
+    stay on the host, so counts match numpy's on every namespace.
     """
     seeds = resolve_trial_seeds(trials, rng, trial_seeds)
     if trials == 0:
@@ -287,11 +311,11 @@ def sample_acceptance_batch(
         )
     detection_cache: dict[int, float] = {}
     if tile >= trials:
-        return _decide_quantum_tile(k, blocks, p, m, seeds, detection_cache)
+        return _decide_quantum_tile(k, blocks, p, m, seeds, detection_cache, xp=xp)
     out = np.empty(trials, dtype=bool)
     for lo, hi in tile_bounds(trials, tile):
         out[lo:hi] = _decide_quantum_tile(
-            k, blocks, p, m, seeds[lo:hi], detection_cache
+            k, blocks, p, m, seeds[lo:hi], detection_cache, xp=xp
         )
     return out
 

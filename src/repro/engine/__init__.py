@@ -9,7 +9,11 @@ registers the three stock backends:
 * ``multiprocess`` — word-level fan-out over a process pool;
 * ``sharedmem``  — trial-level fan-out with the word material and the
   per-trial seed plan placed in ``multiprocessing.shared_memory`` once
-  instead of pickled per task.
+  instead of pickled per task;
+* ``gpu``        — the batched path with its array namespace resolved
+  to an accelerator (CuPy / torch-on-CUDA, see :mod:`repro.xp`), tiles
+  bounded by free device memory; degrades inline to the identical
+  numpy path (one warning) when no device is visible.
 
 Orthogonal to the backend axis, every backend samples any of the stock
 recognizers (``recognizer="quantum" | "classical-blockwise" |
@@ -26,6 +30,8 @@ from .api import (
     ExecutionEngine,
     RECOGNIZERS,
     available_backends,
+    backend_availability,
+    describe_backends,
     get_backend,
     register_backend,
     trial_seed_plan,
@@ -35,6 +41,7 @@ from .sequential import SequentialBackend
 from .batched import BatchedDenseBackend
 from .multiprocess import MultiprocessBackend
 from .sharedmem import SharedMemoryBackend
+from .gpu import GpuBackend, GpuDegradationWarning
 
 __all__ = [
     "AcceptanceEstimate",
@@ -42,6 +49,8 @@ __all__ = [
     "ExecutionEngine",
     "RECOGNIZERS",
     "available_backends",
+    "backend_availability",
+    "describe_backends",
     "get_backend",
     "register_backend",
     "trial_seed_plan",
@@ -50,4 +59,6 @@ __all__ = [
     "BatchedDenseBackend",
     "MultiprocessBackend",
     "SharedMemoryBackend",
+    "GpuBackend",
+    "GpuDegradationWarning",
 ]

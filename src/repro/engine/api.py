@@ -166,6 +166,19 @@ class ExecutionBackend(ABC):
     #: Registry key; subclasses set it and register via register_backend.
     name: str = "abstract"
 
+    @classmethod
+    def availability(cls) -> Tuple[bool, str]:
+        """``(usable_at_full_speed, detail)`` for this backend, probed cheaply.
+
+        Every registered backend *runs* everywhere (the process-pool and
+        device backends degrade inline), so the flag answers "would it
+        run in its native mode here?" — the ``gpu`` backend overrides
+        this with which array library / device the probe found.  The
+        detail string is surfaced by ``repro info`` and by
+        :func:`get_backend`'s unknown-name error.
+        """
+        return True, "always available"
+
     @abstractmethod
     def count_accepted(
         self,
@@ -217,6 +230,23 @@ def available_backends() -> List[str]:
     return sorted(_BACKENDS)
 
 
+def backend_availability() -> Dict[str, Tuple[bool, str]]:
+    """``{name: (usable_at_full_speed, detail)}`` for every backend."""
+    return {name: _BACKENDS[name].availability() for name in available_backends()}
+
+
+def describe_backends() -> List[str]:
+    """One ``"name: detail"`` line per registered backend.
+
+    The shared vocabulary of ``repro info``, the CLI's ``--backend``
+    validation error, and :func:`get_backend`'s unknown-name error —
+    all three list the same names with the same availability detail.
+    """
+    return [
+        f"{name}: {detail}" for name, (_ok, detail) in backend_availability().items()
+    ]
+
+
 BackendSpec = Union[str, ExecutionBackend]
 
 
@@ -229,8 +259,9 @@ def get_backend(spec: BackendSpec = "batched", **options: Any) -> ExecutionBacke
     try:
         cls = _BACKENDS[spec]
     except KeyError:
+        listing = "; ".join(describe_backends())
         raise ValueError(
-            f"unknown backend {spec!r}; available: {', '.join(available_backends())}"
+            f"unknown backend {spec!r}; registered backends: {listing}"
         ) from None
     return cls(**options)
 

@@ -1,0 +1,129 @@
+"""The ``gpu`` backend: the dense batched path on a device namespace.
+
+Same trials, same counts, different silicon: :class:`GpuBackend` is the
+``batched`` backend with its array namespace resolved to an accelerator
+(:mod:`repro.xp` — CuPy first, then torch-on-CUDA; ``REPRO_ARRAY_NS``
+or the ``namespace=`` option pins a choice).  The per-trial seed plan,
+the trial draws (A2's t, A3's j and measurement coin) and the accept
+decisions stay on the host, so for a fixed seed the counts are
+*identical* to every other backend — the device only accelerates the
+``(J, 2^{2k+2})`` state evolution and the modular-Horner sweeps.
+
+Tiling doubles as device-memory management: the same
+``resolve_chunk_trials`` / ``tile_bounds`` machinery that bounds the
+host working set bounds the device working set, with the budget
+defaulting to a fraction of the *free device memory* the probe
+reported.  One tile's state batch plus per-trial arrays live on the
+device at a time; tiles stream through sequentially.
+
+Degradation mirrors the ``sharedmem`` pattern — inline, never fatal:
+when no array library with a visible device is importable, the backend
+warns once (:class:`GpuDegradationWarning`, with the per-candidate
+probe details) and runs the identical numpy path, keeping its ``gpu``
+name so records show what was asked for.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Optional, Tuple
+
+from ..xp import (
+    CANDIDATES,
+    NamespaceStatus,
+    namespace_name,
+    namespace_status,
+    resolve_namespace,
+)
+from .api import register_backend
+from .batched import BatchedDenseBackend
+
+#: Fraction of the probed free device memory offered to one tile's
+#: working set when no explicit budget is given.  Conservative on
+#: purpose: the operators' permutation/sign tables and the namespace's
+#: own pools also live in device memory, outside the tile model.
+DEVICE_MEMORY_FRACTION = 0.5
+
+
+class GpuDegradationWarning(RuntimeWarning):
+    """Emitted once when ``gpu`` runs on numpy because no device is usable."""
+
+
+def _probe_summary() -> str:
+    """Per-candidate availability lines, joined for messages."""
+    statuses = namespace_status()
+    return "; ".join(
+        statuses[name].describe() for name in CANDIDATES if name != "numpy"
+    )
+
+
+@register_backend
+class GpuBackend(BatchedDenseBackend):
+    """Tile-partitioned state sweeps on an accelerator namespace.
+
+    Args:
+        namespace: which array namespace to use — a name from
+            :data:`repro.xp.CANDIDATES` (``"cupy"``, ``"torch"``), or
+            ``None`` to auto-resolve (environment variable, then the
+            first candidate with a visible device, then numpy with a
+            degradation warning).  A non-string is taken as an already
+            -constructed namespace object and used as-is (tests inject
+            CPU shims this way); it is trusted to be available.
+        device_memory_bytes: free device memory the tile model may
+            assume, overriding the probed value (useful on shared
+            devices); ignored when *max_batch_bytes* is given.
+        max_batch_bytes: explicit tile budget, as on ``batched``; wins
+            over any device-memory derivation.
+        chunk_trials: explicit tile size in trials, as on ``batched``.
+    """
+
+    name = "gpu"
+
+    def __init__(
+        self,
+        namespace: Any = None,
+        device_memory_bytes: Optional[int] = None,
+        max_batch_bytes: Optional[int] = None,
+        chunk_trials: Optional[int] = None,
+    ) -> None:
+        if namespace is not None and not isinstance(namespace, str):
+            xp: Any = namespace
+            status = NamespaceStatus(
+                namespace_name(xp), True, "injected", "caller-supplied namespace"
+            )
+        else:
+            xp, status = resolve_namespace(namespace)
+            degraded = not status.available or status.name == "numpy"
+            if degraded:
+                warnings.warn(
+                    "gpu backend: no accelerator namespace is usable "
+                    f"({_probe_summary()}); running the identical numpy "
+                    "path inline",
+                    GpuDegradationWarning,
+                    stacklevel=2,
+                )
+                xp = None  # the numpy path, spelled the batched way
+        if max_batch_bytes is None:
+            budget = (
+                device_memory_bytes
+                if device_memory_bytes is not None
+                else status.memory_bytes
+            )
+            if budget is not None:
+                max_batch_bytes = max(1, int(budget * DEVICE_MEMORY_FRACTION))
+        super().__init__(
+            max_batch_bytes=max_batch_bytes, chunk_trials=chunk_trials, xp=xp
+        )
+        #: The probe / resolution outcome this instance was built from.
+        self.namespace_status = status
+
+    @classmethod
+    def availability(cls) -> Tuple[bool, str]:
+        """Whether an accelerator device was found, with the probe detail."""
+        statuses = namespace_status()
+        for name in CANDIDATES:
+            if name == "numpy":
+                continue
+            if statuses[name].available:
+                return True, statuses[name].describe()
+        return False, f"degrades to batched numpy ({_probe_summary()})"

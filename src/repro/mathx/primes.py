@@ -15,6 +15,8 @@ with overwhelming margin and verified against ``sympy``-style bases).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from typing import Iterator
 
 # Deterministic for n < 3,317,044,064,679,887,385,961,981 (~3.3e24).
@@ -102,11 +104,15 @@ def prime_in_window(low: int, high: int) -> int:
     return p
 
 
+@lru_cache(maxsize=None)
 def fingerprint_prime(k: int) -> int:
     """The modulus used by procedure A2: smallest prime in (2^{4k}, 2^{4k+1}).
 
     Bertrand's postulate guarantees a prime strictly between m and 2m for
     every m > 1, so the window ``(2^{4k}, 2^{4k+1})`` always contains one.
+    Cached per ``k``: the prime search is a Miller-Rabin walk over the
+    window, and the batched samplers would otherwise re-pay it on every
+    chunk tile of a memory-bounded run.
     """
     if k < 1:
         raise ValueError("k must be >= 1")

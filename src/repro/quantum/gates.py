@@ -126,20 +126,26 @@ def kron_all(*gates: np.ndarray) -> np.ndarray:
     return out
 
 
-def walsh_hadamard_in_place(block: np.ndarray) -> None:
+def walsh_hadamard_in_place(block) -> None:
     """Fast Walsh-Hadamard transform along axis -1, normalized by 1/sqrt(2)
     per stage — i.e. H^{(x)tensor m} applied to each row of ``block`` whose
     last axis has length 2^m.  Runs in O(N log N), fully vectorized.
+
+    *block* may live in any array namespace (numpy, cupy, a torch
+    tensor): only reshape views, slice assignment and elementwise
+    arithmetic are used — the butterfly materializes its two summand
+    temporaries instead of calling a namespace-specific ``copy``, with
+    float-identical results.
     """
     n = block.shape[-1]
     if n & (n - 1):
         raise QuantumError("Walsh-Hadamard needs a power-of-two axis length")
     h = 1
     while h < n:
-        shaped = block.reshape(*block.shape[:-1], n // (2 * h), 2, h)
-        a = shaped[..., 0, :].copy()
-        b = shaped[..., 1, :]
-        shaped[..., 0, :] = a + b
-        shaped[..., 1, :] = a - b
+        shaped = block.reshape(tuple(block.shape[:-1]) + (n // (2 * h), 2, h))
+        a = shaped[..., 0, :] + shaped[..., 1, :]
+        b = shaped[..., 0, :] - shaped[..., 1, :]
+        shaped[..., 0, :] = a
+        shaped[..., 1, :] = b
         h *= 2
     block *= 1.0 / np.sqrt(n)

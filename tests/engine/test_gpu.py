@@ -1,0 +1,225 @@
+"""The ``gpu`` backend: registration, parity, degradation, plumbing.
+
+On a machine without CuPy / torch-on-CUDA (the CI case) the backend
+must degrade *inline*: one :class:`GpuDegradationWarning`, numpy
+execution, counts identical to every other backend.  The injected-shim
+tests drive the genuine non-numpy code paths on CPU.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweep import acceptance_sweep
+from repro.core import intersecting_nonmember, member
+from repro.engine import (
+    ExecutionEngine,
+    GpuBackend,
+    GpuDegradationWarning,
+    available_backends,
+    backend_availability,
+    describe_backends,
+    get_backend,
+)
+from repro.xp import CANDIDATES, namespace_status
+
+
+def _accelerator_present() -> bool:
+    statuses = namespace_status()
+    return any(
+        statuses[name].available for name in CANDIDATES if name != "numpy"
+    )
+
+
+def _quiet_gpu(**options) -> GpuBackend:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", GpuDegradationWarning)
+        return GpuBackend(**options)
+
+
+class NumpyShim:
+    """Foreign namespace object wrapping numpy (see the core suite)."""
+
+    name = "shim"
+
+    def __getattr__(self, item):
+        return getattr(np, item)
+
+
+@pytest.fixture(scope="module")
+def words():
+    return {
+        "member": member(1, np.random.default_rng(0)),
+        "intersecting": intersecting_nonmember(1, 2, np.random.default_rng(1)),
+        "member2": member(2, np.random.default_rng(2)),
+    }
+
+
+class TestRegistration:
+    def test_gpu_is_registered(self):
+        assert "gpu" in available_backends()
+
+    def test_engine_resolves_gpu_by_name(self):
+        engine = ExecutionEngine(_quiet_gpu())
+        assert engine.backend_name == "gpu"
+
+    def test_unknown_backend_error_lists_availability(self):
+        with pytest.raises(ValueError) as err:
+            get_backend("tpu")
+        message = str(err.value)
+        assert "tpu" in message
+        for name in available_backends():
+            assert name in message
+        assert "gpu:" in message  # the per-backend availability detail
+
+    def test_backend_availability_mapping(self):
+        availability = backend_availability()
+        assert set(availability) == set(available_backends())
+        ok, detail = availability["gpu"]
+        assert isinstance(ok, bool) and detail
+        if not _accelerator_present():
+            assert not ok
+            assert "degrades" in detail
+
+    def test_describe_backends_one_line_each(self):
+        lines = describe_backends()
+        assert len(lines) == len(available_backends())
+        assert all(":" in line for line in lines)
+
+
+class TestDegradation:
+    def test_no_device_warns_once_and_runs(self, words):
+        if _accelerator_present():
+            pytest.skip("a real accelerator is visible; degradation not hit")
+        with pytest.warns(GpuDegradationWarning) as record:
+            backend = GpuBackend()
+        assert len(record) == 1
+        assert "numpy" in str(record[0].message)
+        assert backend.name == "gpu"  # keeps its name, like sharedmem
+        assert backend.xp is None  # the numpy path, spelled the batched way
+        word = words["member"]
+        assert backend.count_accepted(word, 50, np.random.default_rng(0)) == 50
+
+    def test_unknown_namespace_name_still_raises(self):
+        with pytest.raises(ValueError, match="unknown array namespace"):
+            GpuBackend(namespace="not-a-namespace")
+
+    def test_injected_namespace_skips_probe_and_warning(self, words):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", GpuDegradationWarning)
+            backend = GpuBackend(namespace=NumpyShim())
+        assert backend.namespace_status.name == "shim"
+        assert backend.namespace_status.available
+
+
+class TestCountParity:
+    @pytest.mark.parametrize(
+        "recognizer", ["quantum", "classical-blockwise", "classical-full"]
+    )
+    def test_gpu_counts_match_batched_and_sequential(self, words, recognizer):
+        gpu = ExecutionEngine(_quiet_gpu())
+        for word in words.values():
+            expected = ExecutionEngine("batched").estimate_acceptance(
+                word, 80, rng=7, recognizer=recognizer
+            )
+            seq = ExecutionEngine("sequential").estimate_acceptance(
+                word, 80, rng=7, recognizer=recognizer
+            )
+            got = gpu.estimate_acceptance(word, 80, rng=7, recognizer=recognizer)
+            assert got.accepted == expected.accepted == seq.accepted
+            assert got.backend == "gpu"
+
+    @pytest.mark.parametrize(
+        "recognizer", ["quantum", "classical-blockwise", "classical-full"]
+    )
+    def test_shim_namespace_counts_match(self, words, recognizer):
+        """The non-numpy code paths, exercised on CPU via the shim."""
+        shim = GpuBackend(namespace=NumpyShim())
+        for word in words.values():
+            expected = get_backend("batched").count_accepted(
+                word, 60, np.random.default_rng(3), recognizer=recognizer
+            )
+            got = shim.count_accepted(
+                word, 60, np.random.default_rng(3), recognizer=recognizer
+            )
+            assert got == expected
+
+    def test_seed_shard_path(self, words):
+        from repro.engine import trial_seed_plan
+
+        word = words["intersecting"]
+        plan = trial_seed_plan(5, 60)
+        whole = get_backend("batched").count_accepted_from_seeds(
+            word, plan, "quantum"
+        )
+        gpu = _quiet_gpu()
+        split = sum(
+            gpu.count_accepted_from_seeds(word, plan[lo:hi], "quantum")
+            for lo, hi in [(0, 21), (21, 45), (45, 60)]
+        )
+        assert whole == split
+
+    def test_empty_seed_list_is_noop(self, words):
+        assert _quiet_gpu().count_accepted_from_seeds(
+            words["member"], [], "quantum"
+        ) == 0
+
+    def test_run_many_parity(self, words):
+        word_list = list(words.values())
+        expected = ExecutionEngine("batched").run_many(word_list, 40, rng=9)
+        got = ExecutionEngine(_quiet_gpu()).run_many(word_list, 40, rng=9)
+        assert [e.accepted for e in got] == [e.accepted for e in expected]
+
+
+class TestMemoryBudget:
+    def test_device_memory_derives_tile_budget(self):
+        backend = GpuBackend(namespace=NumpyShim(), device_memory_bytes=1 << 20)
+        from repro.engine.gpu import DEVICE_MEMORY_FRACTION
+
+        assert backend.max_batch_bytes == int((1 << 20) * DEVICE_MEMORY_FRACTION)
+
+    def test_explicit_budget_wins_over_device_memory(self):
+        backend = GpuBackend(
+            namespace=NumpyShim(),
+            device_memory_bytes=1 << 30,
+            max_batch_bytes=4096,
+        )
+        assert backend.max_batch_bytes == 4096
+
+    def test_tiled_gpu_counts_match_untiled(self, words):
+        word = words["intersecting"]
+        plain = GpuBackend(namespace=NumpyShim())
+        tiled = GpuBackend(namespace=NumpyShim(), device_memory_bytes=2048)
+        a = plain.count_accepted(word, 70, np.random.default_rng(4))
+        b = tiled.count_accepted(word, 70, np.random.default_rng(4))
+        assert a == b
+
+
+class TestDownstreamPlumbing:
+    def test_acceptance_sweep_accepts_gpu(self, words):
+        pairs = [(name, word) for name, word in words.items()]
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", GpuDegradationWarning)
+            swept = acceptance_sweep(pairs, trials=30, rng=5, backend="gpu")
+        base = acceptance_sweep(pairs, trials=30, rng=5, backend="batched")
+        assert [est.accepted for _, est in swept] == [
+            est.accepted for _, est in base
+        ]
+
+    def test_orchestrator_runs_gpu_spec(self, words, tmp_path):
+        from repro.lab import ExperimentSpec, Orchestrator
+
+        spec = ExperimentSpec(
+            family="member", k=1, word=words["member"], recognizer="quantum",
+            backend="gpu", trials=25, seed=3,
+        )
+        baseline = ExperimentSpec(
+            family="member", k=1, word=words["member"], recognizer="quantum",
+            backend="batched", trials=25, seed=3,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", GpuDegradationWarning)
+            got = Orchestrator(str(tmp_path / "gpu-store")).run(spec)
+        base = Orchestrator(str(tmp_path / "batched-store")).run(baseline)
+        assert got.estimate.accepted == base.estimate.accepted
