@@ -123,6 +123,20 @@ def _bench_trials() -> int:
 ENGINE_HISTORY = ENGINE_RECORD.with_name("BENCH_history.jsonl")
 
 
+def _lint_summary() -> tuple:
+    """``(rules_enabled, violations)`` for the live src tree, via the
+    in-process checker — the history line records that the tree was
+    invariant-clean when the numbers were taken.  ``(None, None)`` when
+    the tree layout makes linting impossible (no silent zero)."""
+    try:
+        from repro.lint import lint_paths
+
+        report = lint_paths([str(ENGINE_RECORD.parent / "src" / "repro")])
+    except (ImportError, ValueError, OSError):
+        return None, None
+    return len(report.rules), len(report.findings)
+
+
 def _append_history(record: dict) -> None:
     """One compact JSON line per full bench run, appended forever."""
     import subprocess
@@ -166,6 +180,7 @@ def _append_history(record: dict) -> None:
             "cached_queries_per_second"
         ],
     }
+    entry["lint_rules"], entry["lint_violations"] = _lint_summary()
     with open(ENGINE_HISTORY, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry, sort_keys=True, allow_nan=False) + "\n")
 

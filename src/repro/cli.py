@@ -378,6 +378,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import LintConfig, lint_paths, rule_catalog
+
+    if args.list_rules:
+        for rule_id, summary in rule_catalog():
+            print(f"{rule_id:<22} {summary}")
+        return 0
+    config = LintConfig(select=args.rule or None)
+    try:
+        report = lint_paths(args.paths, config=config)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_human())
+    return report.exit_code
+
+
 def _cmd_separation(args: argparse.Namespace) -> int:
     from .analysis import Table
     from .core import separation_table
@@ -497,6 +517,35 @@ def build_parser() -> argparse.ArgumentParser:
         "across workers (same counts as unsharded)",
     )
     samp.set_defaults(func=_cmd_sample)
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the repo's determinism/resource invariants "
+        "(AST rules; see docs/LINT_RULES.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        help="run only this rule (repeatable; default: all registered)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (schema versioned; CI archives it)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     sep = sub.add_parser("separation", help="the headline space table")
     sep.add_argument("--k-min", type=int, default=1)

@@ -227,25 +227,27 @@ class SharedMemoryBackend(ExecutionBackend):
             for segment in segments:
                 _destroy(segment)
             return inline()
-        tasks = [
-            (
-                word_shm.name,
-                len(word_bytes),
-                seeds_shm.name,
-                counts_shm.name,
-                len(shard_bounds),
-                index,
-                lo,
-                hi,
-                self.inner,
-                recognizer,
-                self.max_batch_bytes,
-            )
-            for index, (lo, hi) in enumerate(shard_bounds)
-        ]
-        from concurrent.futures import ProcessPoolExecutor
-
         try:
+            # Everything past creation stays under this try: an error in
+            # task packing or the pool import must still unlink segments.
+            tasks = [
+                (
+                    word_shm.name,
+                    len(word_bytes),
+                    seeds_shm.name,
+                    counts_shm.name,
+                    len(shard_bounds),
+                    index,
+                    lo,
+                    hi,
+                    self.inner,
+                    recognizer,
+                    self.max_batch_bytes,
+                )
+                for index, (lo, hi) in enumerate(shard_bounds)
+            ]
+            from concurrent.futures import ProcessPoolExecutor
+
             try:
                 with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
                     list(pool.map(_count_shard_shared, tasks))

@@ -1,0 +1,28 @@
+"""The rule catalog: importing this package registers every rule.
+
+Each module encodes one contract from ``docs/ARCHITECTURE.md``; the
+registry (``repro.lint.framework.registered_rules``) is populated as a
+side effect of the imports below, so ``repro.lint`` exposes a complete
+catalog the moment it is imported.  ``docs/LINT_RULES.md`` is the
+human-facing version of this list.
+"""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  — imported for their registration side effect
+    broad_except,
+    float_determinism,
+    resource_discipline,
+    rng_discipline,
+    wallclock,
+    xp_namespace,
+)
+from .float_determinism import DEFAULT_PATHS
+from .rng_discipline import DEFAULT_SEED_SITES
+from .xp_namespace import DEFAULT_BOUNDARIES
+
+__all__ = [
+    "DEFAULT_BOUNDARIES",
+    "DEFAULT_PATHS",
+    "DEFAULT_SEED_SITES",
+]

@@ -1,0 +1,180 @@
+"""Run the rules over files and trees; assemble a :class:`LintReport`.
+
+The runner owns everything rule modules should not care about: file
+discovery, parsing, pragma application, rule selection, and the two
+output encodings (human lines and the versioned JSON document CI
+archives).  Exit-code policy (stable, part of the public contract):
+
+* ``0`` — every checked file parsed and no finding survived pragmas;
+* ``1`` — at least one finding (including ``parse-error`` and
+  ``unused-suppression``);
+* ``2`` — the *invocation* was unusable: unknown rule name, or a path
+  that does not exist.  (The CLI maps ``ValueError`` from here to 2.)
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .framework import (
+    PARSE_ERROR,
+    Finding,
+    LintConfig,
+    ModuleContext,
+    Rule,
+    registered_rules,
+)
+from .pragmas import apply_pragmas, scan_pragmas
+
+#: JSON schema version for the ``--json`` document; bump on breaking
+#: shape changes so CI consumers can pin.
+JSON_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    rules: List[str] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": JSON_VERSION,
+            "rules": list(self.rules),
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": self.counts_by_rule(),
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_human(self) -> str:
+        lines = [f.render() for f in self.findings]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.ok:
+            lines.append(
+                f"repro lint: {self.files_checked} {noun} clean "
+                f"({len(self.rules)} rules)"
+            )
+        else:
+            lines.append(
+                f"repro lint: {len(self.findings)} finding(s) in "
+                f"{self.files_checked} {noun} ({len(self.rules)} rules)"
+            )
+        return "\n".join(lines)
+
+
+def _sort_key(finding: Finding):
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; the unit tests' front door.
+
+    *path* is used for display and allowlist matching only — nothing
+    is read from disk.
+    """
+    config = config if config is not None else LintConfig()
+    resolved = list(rules) if rules is not None else config.resolve_rules()
+    norm = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR,
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset else 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    raw: List[Finding] = []
+    for rule in resolved:
+        module = ModuleContext(
+            path=path,
+            norm_path=norm,
+            tree=tree,
+            source=source,
+            options=config.options_for(rule.id),
+        )
+        raw.extend(rule.check(module))
+    raw.sort(key=_sort_key)
+    survived = apply_pragmas(
+        path,
+        raw,
+        scan_pragmas(source),
+        known_rules=set(registered_rules()),
+        active_rules={rule.id for rule in resolved},
+    )
+    return sorted(survived, key=_sort_key)
+
+
+def discover_files(paths: Iterable[str]) -> List[Path]:
+    """``*.py`` files under the given files/directories, sorted.
+
+    Missing paths raise ``ValueError`` (exit code 2 at the CLI): a
+    typo'd path silently checking zero files would read as a pass.
+    """
+    files: List[Path] = []
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.is_file():
+            files.append(p)
+        else:
+            raise ValueError(f"lint path does not exist: {entry}")
+    seen = set()
+    unique: List[Path] = []
+    for f in files:
+        key = f.resolve()
+        if key not in seen:
+            seen.add(key)
+            unique.append(f)
+    return unique
+
+
+def lint_paths(
+    paths: Iterable[str],
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    """Lint every ``*.py`` file under *paths*; the CLI/CI entry point."""
+    config = config if config is not None else LintConfig()
+    rules = config.resolve_rules()  # ValueError on unknown selections
+    report = LintReport(rules=[rule.id for rule in rules])
+    for file_path in discover_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        report.findings.extend(
+            lint_source(source, str(file_path), config=config, rules=rules)
+        )
+        report.files_checked += 1
+    report.findings.sort(key=_sort_key)
+    return report

@@ -243,14 +243,22 @@ class BatchedStateVector:
         return np.abs(self.amplitudes) ** 2
 
     def probability_of_bit(self, qubit: int, value: int) -> np.ndarray:
-        """Per-trial probability that measuring *qubit* yields *value*: (B,)."""
+        """Per-trial probability that measuring *qubit* yields *value*: (B,).
+
+        Each row is reduced by its own 1-D sum over the gathered
+        columns — bit-identical to :meth:`StateVector.probability_of_bit`
+        row by row, where an ``axis=`` reduction is not (NumPy orders
+        the additions differently; see the float-determinism contract
+        in ``docs/ARCHITECTURE.md``).
+        """
         if not 0 <= qubit < self.n_qubits:
             raise QuantumError(f"qubit {qubit} out of range")
         if value not in (0, 1):
             raise QuantumError("measurement value must be 0 or 1")
         ones = bit_where(self.amplitudes.shape[1], qubit)
         mask = ones if value == 1 else ~ones
-        return np.sum(np.abs(self.amplitudes[:, mask]) ** 2, axis=1)
+        probs = np.abs(self.amplitudes[:, mask]) ** 2
+        return np.array([float(np.sum(probs[i])) for i in range(probs.shape[0])])
 
     def norms(self) -> np.ndarray:
         """Per-trial squared norms (drift diagnostics): (B,)."""

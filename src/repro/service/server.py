@@ -162,7 +162,7 @@ class AcceptanceService:
             # worth keeping, and waiters deserve their responses.
             try:
                 await asyncio.shield(task)
-            except Exception:
+            except Exception:  # repro-lint: disable=broad-except -- shutdown drain: a failed in-flight run must not abort stop()
                 pass
         # Two scheduling rounds so handlers woken by those completions
         # can flush their responses before we pull the transports.
@@ -278,7 +278,7 @@ class AcceptanceService:
         except (TypeError, ValueError) as exc:
             self.stats.errors += 1
             return error_response(request_id, "bad-request", str(exc)), False
-        except Exception as exc:  # noqa: BLE001 — the envelope is the boundary
+        except Exception as exc:  # repro-lint: disable=broad-except -- envelope boundary: handlers answer with an error envelope, never a torn connection
             self.stats.errors += 1
             return (
                 error_response(
@@ -458,7 +458,7 @@ class ServiceThread:
         try:
             try:
                 loop.run_until_complete(self.service.start())
-            except BaseException as exc:  # surface bind failures to __enter__
+            except BaseException as exc:  # repro-lint: disable=broad-except -- relays bind failures across the thread to __enter__, which re-raises them
                 self._startup_error = exc
                 return
             finally:
@@ -489,6 +489,6 @@ class ServiceThread:
                 )
                 try:
                     future.result(timeout=30)
-                except Exception:
+                except Exception:  # repro-lint: disable=broad-except -- best-effort stop from __exit__; join below bounds the wait
                     pass
             self._thread.join(timeout=30)

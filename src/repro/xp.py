@@ -121,7 +121,7 @@ def _probe_numpy() -> NamespaceStatus:
 def _probe_cupy() -> NamespaceStatus:
     try:
         import cupy  # type: ignore[import-not-found]
-    except Exception as exc:  # ImportError or a broken CUDA install
+    except Exception as exc:  # repro-lint: disable=broad-except -- probe boundary: any import failure (including a broken CUDA install) means "unavailable"
         return NamespaceStatus("cupy", False, None, f"not importable: {exc}")
     try:
         count = int(cupy.cuda.runtime.getDeviceCount())
@@ -132,14 +132,14 @@ def _probe_cupy() -> NamespaceStatus:
         return NamespaceStatus(
             "cupy", True, f"cuda:{int(device.id)}", "ready", memory_bytes=int(free)
         )
-    except Exception as exc:
+    except Exception as exc:  # repro-lint: disable=broad-except -- probe boundary: a broken driver degrades to "unavailable", never a crash
         return NamespaceStatus("cupy", False, None, f"device probe failed: {exc}")
 
 
 def _probe_torch() -> NamespaceStatus:
     try:
         import torch  # type: ignore[import-not-found]
-    except Exception as exc:
+    except Exception as exc:  # repro-lint: disable=broad-except -- probe boundary: any import failure means "unavailable"
         return NamespaceStatus("torch", False, None, f"not importable: {exc}")
     try:
         if not torch.cuda.is_available():
@@ -153,7 +153,7 @@ def _probe_torch() -> NamespaceStatus:
         return NamespaceStatus(
             "torch", True, f"cuda:{index}", "ready", memory_bytes=int(free)
         )
-    except Exception as exc:
+    except Exception as exc:  # repro-lint: disable=broad-except -- probe boundary: a broken driver degrades to "unavailable", never a crash
         return NamespaceStatus("torch", False, None, f"device probe failed: {exc}")
 
 

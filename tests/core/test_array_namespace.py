@@ -18,6 +18,9 @@ Three contracts under test:
   ``detection_cache`` prevents any j from being evolved twice.
 """
 
+import sys
+import types
+
 import numpy as np
 import pytest
 
@@ -122,6 +125,90 @@ class TestResolution:
         arr = np.arange(3)
         assert to_numpy(arr) is arr
         assert isinstance(to_numpy([1, 2, 3]), np.ndarray)
+
+
+class TestProbeFailurePaths:
+    """The probe boundaries in :mod:`repro.xp` degrade, never raise.
+
+    A broken accelerator install fails *inside* ``import cupy`` /
+    ``import torch`` or inside the device interrogation; both paths
+    must come back as an unavailable :class:`NamespaceStatus` carrying
+    the failure detail — and the per-process probe cache must not pin
+    the failure once :func:`clear_probe_cache` is called.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        xpmod.clear_probe_cache()
+        yield
+        xpmod.clear_probe_cache()
+
+    @pytest.mark.parametrize("name", ["cupy", "torch"])
+    def test_broken_import_degrades_not_raises(self, name, monkeypatch):
+        # None in sys.modules makes `import <name>` raise ImportError.
+        monkeypatch.setitem(sys.modules, name, None)
+        status = probe_namespace(name)
+        assert not status.available
+        assert "not importable" in status.detail
+        ns, got = resolve_namespace(name)
+        assert ns is np and got is status
+
+    def test_broken_device_probe_degrades_not_raises(self, monkeypatch):
+        """Importable library, broken driver: the second probe stage."""
+
+        class ExplodingRuntime:
+            def getDeviceCount(self):
+                raise RuntimeError("CUDA driver version is insufficient")
+
+        fake = types.ModuleType("cupy")
+        fake.cuda = types.SimpleNamespace(runtime=ExplodingRuntime())
+        monkeypatch.setitem(sys.modules, "cupy", fake)
+        status = probe_namespace("cupy")
+        assert not status.available
+        assert "device probe failed" in status.detail
+        assert "driver version" in status.detail
+
+    def test_zero_devices_is_unavailable(self, monkeypatch):
+        fake = types.ModuleType("cupy")
+        fake.cuda = types.SimpleNamespace(
+            runtime=types.SimpleNamespace(getDeviceCount=lambda: 0)
+        )
+        monkeypatch.setitem(sys.modules, "cupy", fake)
+        status = probe_namespace("cupy")
+        assert not status.available and "no CUDA device" in status.detail
+
+    def test_failure_is_cached_until_cleared(self, monkeypatch):
+        """One slow import attempt per process — but only until a
+        deliberate cache clear, after which recovery is visible."""
+        monkeypatch.setitem(sys.modules, "cupy", None)
+        first = probe_namespace("cupy")
+        assert not first.available
+        # Cached: the same status object comes back without re-probing.
+        assert probe_namespace("cupy") is first
+
+        # The environment is repaired; a working (faked) cupy appears.
+        fake = types.ModuleType("cupy")
+        fake.cuda = types.SimpleNamespace(
+            runtime=types.SimpleNamespace(getDeviceCount=lambda: 1),
+            Device=lambda: types.SimpleNamespace(id=0, mem_info=(1 << 30, 1 << 31)),
+        )
+        monkeypatch.setitem(sys.modules, "cupy", fake)
+        # Without a clear the stale failure is still pinned...
+        assert probe_namespace("cupy") is first
+        # ...and clear_probe_cache unpins it.
+        xpmod.clear_probe_cache()
+        recovered = probe_namespace("cupy")
+        assert recovered.available
+        assert recovered.device == "cuda:0"
+        assert recovered.memory_bytes == 1 << 30
+
+    def test_degraded_resolution_still_materializes_numpy(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "torch", None)
+        ns, status = resolve_namespace("torch")
+        assert ns is np
+        assert status.name == "torch" and not status.available
+        # numpy keeps working end to end after the failed probe.
+        assert to_numpy(ns.arange(3)).tolist() == [0, 1, 2]
 
 
 class TestCountInvariance:

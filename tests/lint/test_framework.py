@@ -1,0 +1,178 @@
+"""Framework mechanics: pragmas, selection, report encodings, exit codes.
+
+These tests exercise the checker *machinery* on tiny in-memory
+modules; the per-rule semantics live in ``test_rules.py`` and the
+live-tree gate in ``test_live_tree.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    JSON_VERSION,
+    LintConfig,
+    default_rule_ids,
+    lint_paths,
+    lint_source,
+    registered_rules,
+    rule_catalog,
+    scan_pragmas,
+)
+
+#: A one-liner that trips ``wallclock-hygiene`` wherever it appears.
+VIOLATION = "import time\nstamp = time.time()\n"
+
+
+class TestRegistry:
+    def test_at_least_five_rules_registered(self):
+        assert len(registered_rules()) >= 5
+
+    def test_ids_are_stable_kebab_case(self):
+        for rule_id in registered_rules():
+            assert rule_id == rule_id.lower()
+            assert " " not in rule_id and "_" not in rule_id
+
+    def test_catalog_matches_registry(self):
+        assert [rule_id for rule_id, _ in rule_catalog()] == default_rule_ids()
+        assert all(summary for _, summary in rule_catalog())
+
+    def test_unknown_selection_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            LintConfig(select=["no-such-rule"]).resolve_rules()
+
+    def test_selection_dedupes_and_keeps_order(self):
+        rules = LintConfig(
+            select=["wallclock-hygiene", "broad-except", "wallclock-hygiene"]
+        ).resolve_rules()
+        assert [r.id for r in rules] == ["wallclock-hygiene", "broad-except"]
+
+
+class TestPragmas:
+    def test_scan_finds_rules_and_reason(self):
+        src = "x = 1  # repro-lint: disable=rule-a,rule-b -- because\n"
+        (pragma,) = scan_pragmas(src)
+        assert pragma.rules == ("rule-a", "rule-b")
+        assert pragma.reason == "because"
+        assert pragma.line == 1
+
+    def test_pragma_text_in_string_literal_is_ignored(self):
+        src = 's = "# repro-lint: disable=wallclock-hygiene"\n'
+        assert scan_pragmas(src) == []
+        assert lint_source(src, "src/repro/fake.py") == []
+
+    def test_pragma_suppresses_same_line_finding(self):
+        src = (
+            "import time\n"
+            "stamp = time.time()  # repro-lint: disable=wallclock-hygiene -- test\n"
+        )
+        assert lint_source(src, "src/repro/fake.py") == []
+
+    def test_pragma_does_not_leak_to_other_lines(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=wallclock-hygiene -- test\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src, "src/repro/fake.py")
+        assert [f.line for f in findings] == [3]
+
+    def test_stale_pragma_is_a_finding(self):
+        src = "x = 1  # repro-lint: disable=wallclock-hygiene\n"
+        (finding,) = lint_source(src, "src/repro/fake.py")
+        assert finding.rule == "unused-suppression"
+        assert "stale" in finding.message
+
+    def test_unknown_rule_pragma_is_a_finding(self):
+        src = "x = 1  # repro-lint: disable=not-a-rule\n"
+        (finding,) = lint_source(src, "src/repro/fake.py")
+        assert finding.rule == "unused-suppression"
+        assert "not-a-rule" in finding.message
+
+    def test_unused_suppression_is_not_suppressible(self):
+        src = (
+            "x = 1  "
+            "# repro-lint: disable=not-a-rule,unused-suppression\n"
+        )
+        findings = lint_source(src, "src/repro/fake.py")
+        assert findings  # both entries report, neither silences the other
+        assert all(f.rule == "unused-suppression" for f in findings)
+
+    def test_rule_filtered_run_ignores_other_rules_pragmas(self):
+        """A --rule run must not call another rule's live pragma stale."""
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=wallclock-hygiene -- test\n"
+        )
+        findings = lint_source(
+            src, "src/repro/fake.py", config=LintConfig(select=["broad-except"])
+        )
+        assert findings == []
+
+
+class TestReport:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n", encoding="utf-8")
+        report = lint_paths([str(bad)])
+        assert not report.ok and report.exit_code == 1
+        assert report.findings[0].rule == "parse-error"
+
+    def test_missing_path_raises(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            lint_paths(["no/such/path"])
+
+    def test_json_document_shape(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "fake.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(VIOLATION, encoding="utf-8")
+        report = lint_paths([str(tmp_path)])
+        doc = json.loads(report.to_json())
+        assert doc["version"] == JSON_VERSION
+        assert doc["files_checked"] == 1
+        assert doc["ok"] is False
+        assert doc["counts"] == {"wallclock-hygiene": 1}
+        assert set(doc["rules"]) == set(default_rule_ids())
+        (entry,) = doc["findings"]
+        assert set(entry) == {"rule", "path", "line", "col", "message"}
+
+    def test_human_render_mentions_totals(self, tmp_path):
+        clean = tmp_path / "ok.py"
+        clean.write_text("x = 1\n", encoding="utf-8")
+        report = lint_paths([str(clean)])
+        assert report.ok
+        assert "1 file clean" in report.render_human()
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATION, encoding="utf-8")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "wallclock-hygiene" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", "--rule", "no-such-rule", str(tmp_path)]) == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "definitely/not/here"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_json_flag_emits_versioned_document(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", "--json", str(tmp_path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == JSON_VERSION and doc["ok"] is True
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in default_rule_ids():
+            assert rule_id in out

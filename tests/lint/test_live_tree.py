@@ -1,0 +1,106 @@
+"""Tier-1 gate: the live ``src/repro`` tree is violation-free.
+
+This is the test that makes the invariants *enforced* rather than
+documented: any PR that reintroduces an unseeded generator, a
+hard-coded ``np.<op>`` in a kernel, an axis-reduction in the compute
+core, or an unpaired acquisition turns this suite red.  The mutation
+tests prove the gate actually bites by re-linting real modules with a
+violation injected.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import LintConfig, default_rule_ids, lint_paths, lint_source
+
+PACKAGE_DIR = Path(repro.__file__).parent
+
+
+class TestLiveTree:
+    def test_src_tree_is_violation_free(self):
+        report = lint_paths([str(PACKAGE_DIR)])
+        assert report.findings == [], "\n" + report.render_human()
+        assert report.files_checked > 50  # the whole package, not a subdir
+
+    def test_all_rules_enabled_none_advisory(self):
+        report = lint_paths([str(PACKAGE_DIR)])
+        assert set(report.rules) == set(default_rule_ids())
+        assert len(report.rules) >= 5
+
+
+def mutate(module: Path, old: str, new: str) -> list:
+    """Findings after replacing *old* with *new* in a live module."""
+    source = module.read_text(encoding="utf-8")
+    assert old in source, f"mutation anchor vanished from {module.name}"
+    return lint_source(source.replace(old, new, 1), str(module))
+
+
+class TestMutationsAreCaught:
+    """Reintroducing a fixed bug class must produce a finding."""
+
+    def test_unseeded_rng_in_kernel_is_caught(self):
+        findings = mutate(
+            PACKAGE_DIR / "quantum" / "grover.py",
+            "import numpy as np",
+            "import numpy as np\n_rogue = np.random.default_rng()",
+        )
+        assert any(f.rule == "rng-discipline" for f in findings)
+
+    def test_axis_reduction_in_state_is_caught(self):
+        findings = mutate(
+            PACKAGE_DIR / "quantum" / "state.py",
+            "probs = np.abs(self.amplitudes[:, mask]) ** 2",
+            "return np.sum(np.abs(self.amplitudes[:, mask]) ** 2, axis=1)",
+        )
+        assert any(f.rule == "float-determinism" for f in findings)
+
+    def test_unpragmad_broad_except_is_caught(self):
+        findings = mutate(
+            PACKAGE_DIR / "xp.py",
+            '  # repro-lint: disable=broad-except -- probe boundary: any '
+            'import failure (including a broken CUDA install) means '
+            '"unavailable"',
+            "",
+        )
+        assert any(f.rule == "broad-except" for f in findings)
+
+    def test_deleting_pragmad_code_makes_pragma_stale(self):
+        source = (PACKAGE_DIR / "xp.py").read_text(encoding="utf-8")
+        mutated = source.replace("except Exception as exc:", "except OSError as exc:")
+        findings = lint_source(mutated, str(PACKAGE_DIR / "xp.py"))
+        assert any(f.rule == "unused-suppression" for f in findings)
+
+    def test_wallclock_in_store_is_caught(self):
+        findings = mutate(
+            PACKAGE_DIR / "lab" / "store.py",
+            "import os",
+            "import os\nimport time\n_stamp = time.time()",
+        )
+        assert any(f.rule == "wallclock-hygiene" for f in findings)
+
+    def test_unprotected_segment_in_sharedmem_is_caught(self):
+        module = PACKAGE_DIR / "engine" / "sharedmem.py"
+        source = module.read_text(encoding="utf-8")
+        injected = source.replace(
+            "def _pack_seed_plan(",
+            "def _rogue_segment():\n"
+            "    shm = shared_memory.SharedMemory(create=True, size=8)\n"
+            "    return shm.name\n"
+            "def _pack_seed_plan(",
+            1,
+        )
+        assert injected != source
+        findings = lint_source(injected, str(module))
+        assert any(f.rule == "resource-discipline" for f in findings)
+
+
+class TestConfigOverrides:
+    def test_seed_sites_are_configurable(self):
+        """A stricter config (no seed sites) flags the engine's own
+        generator construction — proving the allowlist is load-bearing."""
+        config = LintConfig(
+            select=["rng-discipline"],
+            options={"rng-discipline": {"seed_sites": ()}},
+        )
+        report = lint_paths([str(PACKAGE_DIR / "engine")], config=config)
+        assert any(f.rule == "rng-discipline" for f in report.findings)
