@@ -181,6 +181,22 @@ def _append_history(record: dict) -> None:
         ],
     }
     entry["lint_rules"], entry["lint_violations"] = _lint_summary()
+    # Per-layer latency percentiles and per-(recognizer, backend) trial
+    # costs, read from the telemetry registry the bench run populated.
+    telemetry = record.get("telemetry", {})
+    entry["telemetry"] = {
+        "cost_per_trial_seconds": {
+            recognizer: {
+                backend: section["cost_per_trial_seconds"]
+                for backend, section in backends.items()
+            }
+            for recognizer, backends in telemetry.get("engine_run", {}).items()
+        },
+        "layers": {
+            layer: {"p50": stats["p50_seconds"], "p95": stats["p95_seconds"]}
+            for layer, stats in telemetry.get("layers", {}).items()
+        },
+    }
     with open(ENGINE_HISTORY, "a", encoding="utf-8") as fh:
         fh.write(json.dumps(entry, sort_keys=True, allow_nan=False) + "\n")
 
@@ -221,6 +237,13 @@ def test_engine_backend_throughput():
         GpuDegradationWarning,
         available_backends,
     )
+    from repro.obs import get_registry
+
+    # Start from a clean registry so the telemetry section reflects
+    # exactly this bench run (the registry is process-global and other
+    # benchmark tests may have touched it).
+    registry = get_registry()
+    registry.reset()
 
     trials = _bench_trials()
     smoke = trials < 500
@@ -571,5 +594,52 @@ def test_engine_backend_throughput():
                     "rounds": precise.rounds,
                 },
             }
+
+    # The telemetry section: what the instrumented layers measured while
+    # the sections above ran.  ``engine_run`` derives exact per-trial
+    # costs (histogram sum over trial counter — both exact, not bucket
+    # estimates) per (recognizer, backend); ``layers`` records latency
+    # percentiles for the store and service paths the run exercised.
+    engine_run = {}
+    for recognizer, section in record["recognizers"].items():
+        per_backend = engine_run[recognizer] = {}
+        for name in section["backends"]:
+            hist = registry.histogram(
+                "engine.run.seconds", backend=name, recognizer=recognizer
+            ).to_dict()
+            ran = registry.counter(
+                "engine.run.trials", backend=name, recognizer=recognizer
+            ).value
+            per_backend[name] = {
+                "runs": hist["count"],
+                "p50_seconds": hist["p50"],
+                "p95_seconds": hist["p95"],
+                "cost_per_trial_seconds": (
+                    round(hist["sum"] / ran, 9) if ran else None
+                ),
+            }
+    layers = {}
+    for layer in (
+        "lab.store.scan.seconds",
+        "lab.store.append.seconds",
+    ):
+        hist = registry.histogram(layer).to_dict()
+        layers[layer] = {
+            "count": hist["count"],
+            "p50_seconds": hist["p50"],
+            "p95_seconds": hist["p95"],
+        }
+    query_ops = registry.histogram("service.op.seconds", op="query").to_dict()
+    layers["service.op.seconds{op=query}"] = {
+        "count": query_ops["count"],
+        "p50_seconds": query_ops["p50"],
+        "p95_seconds": query_ops["p95"],
+    }
+    record["telemetry"] = {"engine_run": engine_run, "layers": layers}
+    assert all(
+        section["runs"] > 0
+        for per_backend in engine_run.values()
+        for section in per_backend.values()
+    ), "instrumentation gap: a swept backend recorded no engine.run spans"
 
     _write_engine_record(record, smoke)

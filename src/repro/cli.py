@@ -20,6 +20,12 @@ Commands
 * ``query``       — query a running service (``--target-halfwidth``
   for precision mode; ``--stats`` / ``--ping`` / ``--shutdown-server``
   for operations).
+* ``metrics``     — fetch a running service's full telemetry snapshot
+  (counters, gauges, latency histograms) as a table or ``--json``.
+
+``sample``, ``lab run`` and ``query`` also take ``--trace FILE``: the
+command runs inside a full-mode trace session and its hierarchical
+span tree is written to FILE as JSONL (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -155,6 +161,17 @@ def _backend_arg(text: str) -> str:
     listing = "; ".join(describe_backends())
     raise argparse.ArgumentTypeError(
         f"unknown backend {text!r}; registered backends: {listing}"
+    )
+
+
+def _add_trace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write this command's hierarchical span tree to FILE as "
+        "JSONL (forces full trace mode for the run; see "
+        "docs/OBSERVABILITY.md)",
     )
 
 
@@ -378,6 +395,73 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(host=args.host, port=args.port, timeout=args.timeout)
+    try:
+        with client:
+            snapshot = client.metrics()
+    except ServiceError as exc:
+        print(f"metrics: service error ({exc.kind}): {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"metrics: cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, sort_keys=True))
+        return 0
+    _print_metrics_tables(snapshot, f"{args.host}:{args.port}")
+    return 0
+
+
+def _print_metrics_tables(snapshot, source: str) -> None:
+    """Render a registry snapshot as human tables (shared schema v1)."""
+    from .analysis import Table
+
+    print(f"telemetry snapshot v{snapshot.get('version')} from {source}")
+    counters = snapshot.get("counters", {})
+    if counters:
+        table = Table("Counters", ["counter", "value"])
+        for key in sorted(counters):
+            table.add_row(key, counters[key])
+        table.print()
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        table = Table("Gauges", ["gauge", "value"])
+        for key in sorted(gauges):
+            table.add_row(key, gauges[key])
+        table.print()
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        table = Table(
+            "Histograms", ["histogram", "count", "mean", "p50", "p95"]
+        )
+        for key in sorted(histograms):
+            hist = histograms[key]
+            count = hist.get("count", 0)
+            mean = hist.get("sum", 0.0) / count if count else None
+            table.add_row(
+                key,
+                count,
+                _fmt_seconds(mean),
+                _fmt_seconds(hist.get("p50")),
+                _fmt_seconds(hist.get("p95")),
+            )
+        table.print()
+    if not (counters or gauges or histograms):
+        print("(no metrics recorded yet)")
+
+
+def _fmt_seconds(value) -> str:
+    return "-" if value is None else f"{value:.6g}"
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint import LintConfig, lint_paths, rule_catalog
 
@@ -516,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --backend multiprocess: split this word's trials "
         "across workers (same counts as unsharded)",
     )
+    _add_trace_arg(samp)
     samp.set_defaults(func=_cmd_sample)
 
     lint = sub.add_parser(
@@ -601,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--store", default=store_default,
                      help="store directory (env REPRO_LAB_STORE)")
+    _add_trace_arg(run)
     run.set_defaults(func=_cmd_lab_run)
 
     # Mirrors repro.service.protocol.DEFAULT_PORT; kept literal so the
@@ -671,7 +757,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="liveness check and exit")
     query.add_argument("--shutdown-server", action="store_true",
                        help="ask the service to stop and exit")
+    _add_trace_arg(query)
     query.set_defaults(func=_cmd_query)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch a running service's telemetry snapshot "
+        "(counters, gauges, latency histograms)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=DEFAULT_PORT)
+    metrics.add_argument("--timeout", type=float, default=30.0,
+                         help="seconds to wait for the response")
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw versioned snapshot document instead of tables",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     status = labsub.add_parser("status", help="store summary")
     status.add_argument("--store", default=store_default,
@@ -690,7 +793,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return args.func(args)
+    # --trace: run the command inside a full-mode trace session so its
+    # span tree (engine.run -> engine.backend.count, lab.run -> store
+    # timings, ...) lands in trace_path as JSONL.  Tracing never feeds
+    # back into execution, so the command's output is unchanged.
+    from .obs import TraceSession
+
+    with TraceSession("full") as session:
+        code = args.func(args)
+    spans = session.write_jsonl(trace_path)
+    print(f"trace: {spans} span(s) -> {trace_path}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

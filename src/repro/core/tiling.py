@@ -62,8 +62,18 @@ def resolve_chunk_trials(
 
 
 def tile_bounds(trials: int, tile: int) -> Iterator[Tuple[int, int]]:
-    """Contiguous ``(lo, hi)`` tile bounds covering ``range(trials)``."""
+    """Contiguous ``(lo, hi)`` tile bounds covering ``range(trials)``.
+
+    Each tile yielded bumps the ``core.tiles`` telemetry counter, so
+    the metrics snapshot shows how hard a memory budget is actually
+    tiling the sweeps (the counter changes nothing else: tiling is
+    statistics-invisible by the seeding contract).
+    """
     if tile <= 0:
         raise ValueError("tile must be positive")
+    from ..obs import get_registry
+
+    tiles = get_registry().counter("core.tiles")
     for lo in range(0, trials, tile):
+        tiles.inc()
         yield lo, min(lo + tile, trials)

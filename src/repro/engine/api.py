@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, U
 import numpy as np
 
 from ..analysis.bounds import binomial_stderr, wilson_interval
+from ..obs import get_registry, span
 from ..rng import RngLike, ensure_rng, spawn_seeds
 
 #: Recognizer names every backend understands (the *what* to sample;
@@ -306,6 +307,31 @@ class ExecutionEngine:
     def backend_name(self) -> str:
         return self.backend.name
 
+    def _observe_run(self, recognizer: str, total_trials: int, elapsed: float) -> None:
+        """Fold one engine run into the registry (cost calibration data).
+
+        ``engine.run.seconds`` is the per-call latency distribution;
+        ``engine.trial.seconds`` the per-trial amortized cost — the
+        measured cost-per-trial the bench harness exports per
+        ``(recognizer, backend)`` for the ROADMAP's sweep planner.
+        """
+        registry = get_registry()
+        registry.counter(
+            "engine.run.calls", backend=self.backend.name, recognizer=recognizer
+        ).inc()
+        registry.histogram(
+            "engine.run.seconds", backend=self.backend.name, recognizer=recognizer
+        ).observe(elapsed)
+        if total_trials > 0:
+            registry.counter(
+                "engine.run.trials", backend=self.backend.name, recognizer=recognizer
+            ).inc(total_trials)
+            registry.histogram(
+                "engine.trial.seconds",
+                backend=self.backend.name,
+                recognizer=recognizer,
+            ).observe(elapsed / total_trials)
+
     def estimate_acceptance(
         self,
         word: str,
@@ -319,9 +345,20 @@ class ExecutionEngine:
             raise ValueError("trials must be positive")
         validate_recognizer(recognizer)
         gen = ensure_rng(rng)
+        label = "custom" if factory is not None else recognizer
         start = time.perf_counter()
-        accepted = self.backend.count_accepted(word, trials, gen, factory, recognizer)
+        with span(
+            "engine.run",
+            backend=self.backend.name,
+            recognizer=label,
+            trials=trials,
+            words=1,
+        ):
+            accepted = self.backend.count_accepted(
+                word, trials, gen, factory, recognizer
+            )
         elapsed = time.perf_counter() - start
+        self._observe_run(label, trials, elapsed)
         return AcceptanceEstimate(
             word_length=len(word),
             trials=trials,
@@ -330,7 +367,7 @@ class ExecutionEngine:
             elapsed_s=elapsed,
             # A custom factory replaces the stock machine, so the
             # estimate must not claim a named recognizer ran.
-            recognizer="custom" if factory is not None else recognizer,
+            recognizer=label,
         )
 
     def run_many(
@@ -346,11 +383,21 @@ class ExecutionEngine:
             raise ValueError("trials must be positive")
         validate_recognizer(recognizer)
         gen = ensure_rng(rng)
-        start = time.perf_counter()
-        counts = self.backend.count_accepted_many(words, trials, gen, factory, recognizer)
-        elapsed = time.perf_counter() - start
-        per_word = elapsed / len(words) if words else 0.0
         label = "custom" if factory is not None else recognizer
+        start = time.perf_counter()
+        with span(
+            "engine.run",
+            backend=self.backend.name,
+            recognizer=label,
+            trials=trials,
+            words=len(words),
+        ):
+            counts = self.backend.count_accepted_many(
+                words, trials, gen, factory, recognizer
+            )
+        elapsed = time.perf_counter() - start
+        self._observe_run(label, trials * len(words), elapsed)
+        per_word = elapsed / len(words) if words else 0.0
         return [
             AcceptanceEstimate(
                 word_length=len(word),

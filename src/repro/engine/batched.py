@@ -27,6 +27,7 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from .api import ExecutionBackend, register_backend, validate_recognizer
+from .telemetry import observe_backend_call
 
 
 def _batch_sampler(recognizer: str) -> Callable[..., np.ndarray]:
@@ -85,18 +86,25 @@ class BatchedDenseBackend(ExecutionBackend):
                 "'sequential' for arbitrary algorithms"
             )
         sampler = _batch_sampler(recognizer)
-        return int(
-            np.count_nonzero(
-                sampler(
-                    word,
-                    trials,
-                    rng,
-                    max_batch_bytes=self.max_batch_bytes,
-                    chunk_trials=self.chunk_trials,
-                    xp=self.xp,
+        with observe_backend_call(
+            self.name,
+            recognizer,
+            trials,
+            max_batch_bytes=self.max_batch_bytes,
+            chunk_trials=self.chunk_trials,
+        ):
+            return int(
+                np.count_nonzero(
+                    sampler(
+                        word,
+                        trials,
+                        rng,
+                        max_batch_bytes=self.max_batch_bytes,
+                        chunk_trials=self.chunk_trials,
+                        xp=self.xp,
+                    )
                 )
             )
-        )
 
     def count_accepted_from_seeds(
         self,
@@ -110,16 +118,23 @@ class BatchedDenseBackend(ExecutionBackend):
         already at its requested depth — is a 0-accepted no-op.
         """
         sampler = _batch_sampler(recognizer)
-        return int(
-            np.count_nonzero(
-                sampler(
-                    word,
-                    len(seeds),
-                    None,
-                    trial_seeds=seeds,
-                    max_batch_bytes=self.max_batch_bytes,
-                    chunk_trials=self.chunk_trials,
-                    xp=self.xp,
+        with observe_backend_call(
+            self.name,
+            recognizer,
+            len(seeds),
+            max_batch_bytes=self.max_batch_bytes,
+            chunk_trials=self.chunk_trials,
+        ):
+            return int(
+                np.count_nonzero(
+                    sampler(
+                        word,
+                        len(seeds),
+                        None,
+                        trial_seeds=seeds,
+                        max_batch_bytes=self.max_batch_bytes,
+                        chunk_trials=self.chunk_trials,
+                        xp=self.xp,
+                    )
                 )
             )
-        )

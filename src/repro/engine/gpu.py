@@ -37,6 +37,7 @@ from ..xp import (
 )
 from .api import register_backend
 from .batched import BatchedDenseBackend
+from .telemetry import count_degradation
 
 #: Fraction of the probed free device memory offered to one tile's
 #: working set when no explicit budget is given.  Conservative on
@@ -95,6 +96,7 @@ class GpuBackend(BatchedDenseBackend):
             xp, status = resolve_namespace(namespace)
             degraded = not status.available or status.name == "numpy"
             if degraded:
+                count_degradation(self.name, "batched")
                 warnings.warn(
                     "gpu backend: no accelerator namespace is usable "
                     f"({_probe_summary()}); running the identical numpy "

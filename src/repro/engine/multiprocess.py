@@ -34,6 +34,7 @@ from .api import (
     get_backend,
     register_backend,
 )
+from .telemetry import count_degradation, count_shards, observe_backend_call
 
 
 def _inner_backend(spec, max_batch_bytes):
@@ -133,34 +134,37 @@ class MultiprocessBackend(ExecutionBackend):
     ) -> int:
         if factory is not None:
             raise ValueError("the multiprocess backend ships seeds, not closures")
-        if not self.shard_trials or recognizer in DETERMINISTIC_RECOGNIZERS:
-            # One word has nothing to fan out (and a deterministic
-            # recognizer is decided once, so sharding its trials would
-            # only spawn seeds nobody consults); run the inner backend
-            # inline.
-            return self._inner_backend.count_accepted(
-                word, trials, rng, recognizer=recognizer
-            )
-        # Trial-level sharding: the word's per-trial seeds are spawned
-        # exactly as the unsharded inner backend would, then split into
-        # contiguous shards — one worker each, summed counts.
-        seeds = spawn_seeds(rng, trials)
-        workers = min(self._workers(trials), trials)
-        if workers <= 1:
-            return self._inner_backend.count_accepted_from_seeds(
-                word, seeds, recognizer
-            )
-        shards = [
-            (word, seeds[lo:hi], self.inner, recognizer, self.max_batch_bytes)
-            for lo, hi in _shard_bounds(trials, workers)
-        ]
-        from concurrent.futures import ProcessPoolExecutor
+        with observe_backend_call(self.name, recognizer, trials):
+            if not self.shard_trials or recognizer in DETERMINISTIC_RECOGNIZERS:
+                # One word has nothing to fan out (and a deterministic
+                # recognizer is decided once, so sharding its trials would
+                # only spawn seeds nobody consults); run the inner backend
+                # inline.
+                return self._inner_backend.count_accepted(
+                    word, trials, rng, recognizer=recognizer
+                )
+            # Trial-level sharding: the word's per-trial seeds are spawned
+            # exactly as the unsharded inner backend would, then split into
+            # contiguous shards — one worker each, summed counts.
+            seeds = spawn_seeds(rng, trials)
+            workers = min(self._workers(trials), trials)
+            if workers <= 1:
+                return self._inner_backend.count_accepted_from_seeds(
+                    word, seeds, recognizer
+                )
+            shards = [
+                (word, seeds[lo:hi], self.inner, recognizer, self.max_batch_bytes)
+                for lo, hi in _shard_bounds(trials, workers)
+            ]
+            count_shards(self.name, len(shards))
+            from concurrent.futures import ProcessPoolExecutor
 
-        try:
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-                return sum(pool.map(_count_shard, shards))
-        except _pool_errors():
-            return sum(_count_shard(shard) for shard in shards)
+            try:
+                with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                    return sum(pool.map(_count_shard, shards))
+            except _pool_errors():
+                count_degradation(self.name, "inline")
+                return sum(_count_shard(shard) for shard in shards)
 
     def count_accepted_from_seeds(
         self,
@@ -182,26 +186,29 @@ class MultiprocessBackend(ExecutionBackend):
             # A zero-length shard (e.g. the empty continuation of an
             # already-complete run) is a no-op on every backend.
             return 0
-        workers = min(self._workers(len(seeds)), len(seeds))
-        if recognizer in DETERMINISTIC_RECOGNIZERS:
-            # The machine consults no randomness: one inline decision
-            # beats shipping unused seed lists to a pool.
-            workers = 1
-        if workers <= 1:
-            return self._inner_backend.count_accepted_from_seeds(
-                word, seeds, recognizer
-            )
-        shards = [
-            (word, seeds[lo:hi], self.inner, recognizer, self.max_batch_bytes)
-            for lo, hi in _shard_bounds(len(seeds), workers)
-        ]
-        from concurrent.futures import ProcessPoolExecutor
+        with observe_backend_call(self.name, recognizer, len(seeds)):
+            workers = min(self._workers(len(seeds)), len(seeds))
+            if recognizer in DETERMINISTIC_RECOGNIZERS:
+                # The machine consults no randomness: one inline decision
+                # beats shipping unused seed lists to a pool.
+                workers = 1
+            if workers <= 1:
+                return self._inner_backend.count_accepted_from_seeds(
+                    word, seeds, recognizer
+                )
+            shards = [
+                (word, seeds[lo:hi], self.inner, recognizer, self.max_batch_bytes)
+                for lo, hi in _shard_bounds(len(seeds), workers)
+            ]
+            count_shards(self.name, len(shards))
+            from concurrent.futures import ProcessPoolExecutor
 
-        try:
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-                return sum(pool.map(_count_shard, shards))
-        except _pool_errors():
-            return sum(_count_shard(shard) for shard in shards)
+            try:
+                with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+                    return sum(pool.map(_count_shard, shards))
+            except _pool_errors():
+                count_degradation(self.name, "inline")
+                return sum(_count_shard(shard) for shard in shards)
 
     def count_accepted_many(
         self,
@@ -224,17 +231,22 @@ class MultiprocessBackend(ExecutionBackend):
                     recognizer=recognizer,
                 )
             ]
-        jobs = [
-            (word, trials, seed, self.inner, recognizer, self.max_batch_bytes)
-            for word, seed in zip(words, seeds)
-        ]
-        workers = self._workers(len(jobs))
-        if workers <= 1 or len(jobs) <= 1:
-            return [_count_one(job) for job in jobs]
-        from concurrent.futures import ProcessPoolExecutor
+        with observe_backend_call(
+            self.name, recognizer, trials * len(words), words=len(words)
+        ):
+            jobs = [
+                (word, trials, seed, self.inner, recognizer, self.max_batch_bytes)
+                for word, seed in zip(words, seeds)
+            ]
+            workers = self._workers(len(jobs))
+            if workers <= 1 or len(jobs) <= 1:
+                return [_count_one(job) for job in jobs]
+            count_shards(self.name, len(jobs))
+            from concurrent.futures import ProcessPoolExecutor
 
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_count_one, jobs))
-        except _pool_errors():
-            return [_count_one(job) for job in jobs]
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(_count_one, jobs))
+            except _pool_errors():
+                count_degradation(self.name, "inline")
+                return [_count_one(job) for job in jobs]

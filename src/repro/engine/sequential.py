@@ -23,6 +23,7 @@ from .api import (
     register_backend,
     validate_recognizer,
 )
+from .telemetry import observe_backend_call
 
 
 def _quantum_factory(child: np.random.Generator):
@@ -94,14 +95,18 @@ class SequentialBackend(ExecutionBackend):
         factory: Optional[Callable[[np.random.Generator], Any]] = None,
         recognizer: str = "quantum",
     ) -> int:
-        if factory is None and recognizer in DETERMINISTIC_RECOGNIZERS:
-            # The machine never consults its child generator; skip the
-            # spawn so the parent's state matches the batched backend,
-            # which skips it for the same reason.
-            children: Any = [None] * trials
-        else:
-            children = spawn(rng, trials)
-        return self.count_accepted_from_children(word, children, factory, recognizer)
+        label = "custom" if factory is not None else recognizer
+        with observe_backend_call(self.name, label, trials):
+            if factory is None and recognizer in DETERMINISTIC_RECOGNIZERS:
+                # The machine never consults its child generator; skip the
+                # spawn so the parent's state matches the batched backend,
+                # which skips it for the same reason.
+                children: Any = [None] * trials
+            else:
+                children = spawn(rng, trials)
+            return self.count_accepted_from_children(
+                word, children, factory, recognizer
+            )
 
     def count_accepted_from_seeds(
         self,
@@ -115,10 +120,11 @@ class SequentialBackend(ExecutionBackend):
         what :func:`repro.rng.spawn_seeds` produced for the whole word,
         so shards reproduce the unsharded draw order exactly.
         """
-        children: List[np.random.Generator] = [
-            np.random.default_rng(s) for s in seeds
-        ]
-        return self.count_accepted_from_children(word, children, None, recognizer)
+        with observe_backend_call(self.name, recognizer, len(seeds)):
+            children: List[np.random.Generator] = [
+                np.random.default_rng(s) for s in seeds
+            ]
+            return self.count_accepted_from_children(word, children, None, recognizer)
 
     @staticmethod
     def count_accepted_from_children(

@@ -41,6 +41,7 @@ from .api import (
     register_backend,
 )
 from .multiprocess import _inner_backend, _pool_errors, _shard_bounds, _workers_for
+from .telemetry import count_degradation, count_shards, observe_backend_call
 
 #: Bytes per packed seed row; ``spawn_seeds`` children are 128-bit ints.
 SEED_BYTES = 16
@@ -145,17 +146,18 @@ class SharedMemoryBackend(ExecutionBackend):
     ) -> int:
         if factory is not None:
             raise ValueError("the sharedmem backend ships seeds, not closures")
-        if recognizer in DETERMINISTIC_RECOGNIZERS:
-            # The machine consults no randomness; run the inner backend
-            # inline so the parent's spawn counter stays untouched,
-            # like every other backend.
-            return self._inner_backend.count_accepted(
-                word, trials, rng, recognizer=recognizer
+        with observe_backend_call(self.name, recognizer, trials):
+            if recognizer in DETERMINISTIC_RECOGNIZERS:
+                # The machine consults no randomness; run the inner backend
+                # inline so the parent's spawn counter stays untouched,
+                # like every other backend.
+                return self._inner_backend.count_accepted(
+                    word, trials, rng, recognizer=recognizer
+                )
+            # The exact per-trial seeds the unsharded run would draw.
+            return self._count_from_seeds(
+                word, spawn_seeds(rng, trials), recognizer
             )
-        # The exact per-trial seeds the unsharded run would draw.
-        return self.count_accepted_from_seeds(
-            word, spawn_seeds(rng, trials), recognizer
-        )
 
     def count_accepted_from_seeds(
         self,
@@ -172,6 +174,16 @@ class SharedMemoryBackend(ExecutionBackend):
         no-op; counts always match the inner backend run inline on the
         same seeds.
         """
+        with observe_backend_call(self.name, recognizer, len(seeds)):
+            return self._count_from_seeds(word, seeds, recognizer)
+
+    def _count_from_seeds(
+        self,
+        word: str,
+        seeds: Sequence[int],
+        recognizer: str,
+    ) -> int:
+        """The un-instrumented core both counting entry points share."""
         seeds = [int(s) for s in seeds]
         if not seeds:
             return 0
@@ -193,9 +205,12 @@ class SharedMemoryBackend(ExecutionBackend):
     ) -> int:
         from multiprocessing import shared_memory
 
+        count_shards(self.name, len(shard_bounds))
+
         def inline() -> int:
             # Same shards, local seeds: counts are shard-sum invariant,
             # so degradation never changes the statistics.
+            count_degradation(self.name, "inline")
             return sum(
                 self._inner_backend.count_accepted_from_seeds(
                     word, seeds[lo:hi], recognizer

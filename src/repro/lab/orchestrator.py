@@ -25,6 +25,7 @@ from typing import Optional, Union
 
 from ..analysis.bounds import Z95, trials_for_halfwidth, wilson_halfwidth
 from ..engine.api import AcceptanceEstimate, get_backend, trial_seed_plan
+from ..obs import get_registry, span
 from .spec import ExperimentSpec
 from .store import LabRecord, ResultStore
 
@@ -142,8 +143,29 @@ class Orchestrator:
         ('deepened', 40, 100)
         >>> tmp.cleanup()
         """
+        with span(
+            "lab.run",
+            trials=spec.trials,
+            recognizer=spec.recognizer,
+            backend=spec.backend,
+        ):
+            result = self._run(spec)
+        registry = get_registry()
+        registry.counter("lab.runs", source=result.source).inc()
+        if result.trials_executed > 0:
+            registry.counter("lab.trials_executed").inc(result.trials_executed)
+        return result
+
+    def _run(self, spec: ExperimentSpec) -> LabRunResult:
+        """The cache/deepen/fresh decision :meth:`run` instruments."""
+        registry = get_registry()
         key = spec.key
-        ladder = self.store.checkpoints(key)
+        scan_start = time.perf_counter()
+        with span("lab.store.scan"):
+            ladder = self.store.checkpoints(key)
+        registry.histogram("lab.store.scan.seconds").observe(
+            time.perf_counter() - scan_start
+        )
         for record in ladder:
             if record.trials == spec.trials:
                 return LabRunResult(
@@ -176,7 +198,12 @@ class Orchestrator:
             backend=backend.name,
             elapsed_s=elapsed + (base.elapsed_s if base is not None else 0.0),
         )
-        self.store.append(record)
+        append_start = time.perf_counter()
+        with span("lab.store.append"):
+            self.store.append(record)
+        registry.histogram("lab.store.append.seconds").observe(
+            time.perf_counter() - append_start
+        )
         return LabRunResult(
             estimate=self._estimate(spec, record),
             source="deepened" if base is not None else "fresh",

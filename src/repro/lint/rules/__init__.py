@@ -14,15 +14,20 @@ from . import (  # noqa: F401  — imported for their registration side effect
     float_determinism,
     resource_discipline,
     rng_discipline,
+    telemetry,
     wallclock,
     xp_namespace,
 )
 from .float_determinism import DEFAULT_PATHS
 from .rng_discipline import DEFAULT_SEED_SITES
+from .telemetry import METRIC_CALLS
+from .wallclock import DEFAULT_SANCTIONED
 from .xp_namespace import DEFAULT_BOUNDARIES
 
 __all__ = [
     "DEFAULT_BOUNDARIES",
     "DEFAULT_PATHS",
+    "DEFAULT_SANCTIONED",
     "DEFAULT_SEED_SITES",
+    "METRIC_CALLS",
 ]

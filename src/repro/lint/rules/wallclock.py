@@ -8,6 +8,14 @@ a way no fixed-seed test can catch (the test machine's clock always
 "works").  Monotonic timing for *metrics* is fine and idiomatic here —
 ``time.perf_counter()`` populates ``AcceptanceEstimate.elapsed_s`` —
 so only the wall-clock family is flagged.
+
+One sanction exists: exported telemetry documents legitimately carry a
+wall-clock timestamp so operators can align snapshots across hosts.
+:data:`DEFAULT_SANCTIONED` names the single module allowed to read the
+wall clock — :mod:`repro.obs.clock` — and everything else must go
+through its ``wall_time()``.  The ``sanctioned`` option (a list of
+path suffixes, like ``rng-discipline``'s ``seed_sites``) replaces the
+default for forks that relocate the clock module.
 """
 
 from __future__ import annotations
@@ -33,6 +41,11 @@ _WALLCLOCK = {
     "date.today",
 }
 
+#: Path suffixes of the modules sanctioned to read the wall clock.
+#: Exactly one by design: the telemetry layer's clock module, whose
+#: ``wall_time()`` stamps exported documents and nothing else.
+DEFAULT_SANCTIONED = ("repro/obs/clock.py",)
+
 
 @register_rule
 class WallClockRule(Rule):
@@ -43,6 +56,11 @@ class WallClockRule(Rule):
     )
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
+        sanctioned = module.options.get("sanctioned", DEFAULT_SANCTIONED)
+        if module.matches(sanctioned):
+            # The clock module exists to read the wall clock; its
+            # docstring binds it to export timestamps only.
+            return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call):
                 name = call_name(node)

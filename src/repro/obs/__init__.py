@@ -1,0 +1,76 @@
+"""``repro.obs`` — the telemetry layer: metrics, spans, sanctioned clock.
+
+Zero-dependency observability for every layer of the stack:
+
+* :mod:`repro.obs.metrics` — the process-global
+  :class:`MetricsRegistry` of named counters, gauges and fixed-bucket
+  histograms, exported as a versioned JSON snapshot (the service's
+  ``metrics`` op and ``repro metrics --json`` share this schema);
+* :mod:`repro.obs.spans` — hierarchical ``span(name, **attrs)``
+  context managers timed with ``perf_counter``, gated by
+  ``REPRO_TRACE=off|summary|full`` and exportable as a JSONL span tree
+  (``repro sample/lab run/query --trace FILE``);
+* :mod:`repro.obs.clock` — the single module allowed to read the wall
+  clock, for export timestamps only (``wallclock-hygiene`` sanctions
+  exactly this path).
+
+The cardinal rule, enforced by tests: **telemetry never changes
+counts**.  Nothing in this package consults randomness or feeds values
+back into execution, so instrumented runs are byte-identical to
+uninstrumented ones on every backend.
+
+See ``docs/OBSERVABILITY.md`` for the metric catalog, span tree schema
+and snapshot schema.
+"""
+
+from __future__ import annotations
+
+from . import clock  # noqa: F401  — re-exported as a namespace
+from .metrics import (
+    COUNT_BUCKETS,
+    DEFAULT_BUCKETS,
+    SNAPSHOT_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    instrument_key,
+)
+from .spans import (
+    MAX_TRACE_SPANS,
+    TRACE_ENV,
+    TRACE_MODES,
+    Span,
+    SpanRecorder,
+    TraceSession,
+    get_recorder,
+    set_trace_mode,
+    span,
+    trace_mode,
+    trace_session,
+)
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "DEFAULT_BUCKETS",
+    "MAX_TRACE_SPANS",
+    "SNAPSHOT_VERSION",
+    "TRACE_ENV",
+    "TRACE_MODES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "TraceSession",
+    "clock",
+    "get_recorder",
+    "get_registry",
+    "instrument_key",
+    "set_trace_mode",
+    "span",
+    "trace_mode",
+    "trace_session",
+]

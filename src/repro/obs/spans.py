@@ -1,0 +1,259 @@
+"""Hierarchical spans: perf_counter-timed sections with a parent tree.
+
+``with span("engine.backend.count", backend="batched"):`` marks one
+timed section.  How much that costs — and what it records — is decided
+by the trace mode, read from the ``REPRO_TRACE`` environment variable
+(or a programmatic override, see :func:`set_trace_mode`):
+
+* ``off`` (the default) — the span is a shared no-op object: one
+  counter increment (``span.calls{name=...}``), **no allocation, no
+  clock reads, no recording**.  This is the bounded-overhead guarantee
+  tested in ``tests/obs``.
+* ``summary`` — spans are timed and fold into the registry
+  (``span.seconds{name=...}`` histograms); no per-event storage, so
+  memory stays O(distinct span names).
+* ``full`` — additionally, every finished span is appended to the
+  process :class:`SpanRecorder` as a parent-linked event, exportable
+  as JSONL (``repro sample --trace FILE`` and friends).  The recorder
+  is bounded (:data:`MAX_TRACE_SPANS`); overflow increments a drop
+  counter instead of growing without bound.
+
+Parent links use a :mod:`contextvars` variable, so the tree is correct
+across threads and asyncio tasks: a span opened inside a service
+handler coroutine parents the spans of the engine call it awaits, and
+concurrent requests never see each other's frames.
+
+Timing uses :func:`repro.obs.clock.perf_counter` exclusively
+(monotonic; wallclock-hygiene compliant).  The only wall-clock value in
+a trace is the export timestamp in the JSONL header line, read through
+the sanctioned :mod:`repro.obs.clock`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional, Union
+
+from . import clock
+from .metrics import get_registry
+
+#: Environment knob; one of :data:`TRACE_MODES`.
+TRACE_ENV = "REPRO_TRACE"
+
+#: Recognized trace modes, cheapest first.
+TRACE_MODES = ("off", "summary", "full")
+
+#: Recorder capacity: spans beyond this are counted, not stored, so a
+#: long-running traced service cannot grow without bound.
+MAX_TRACE_SPANS = 100_000
+
+_MODE_OVERRIDE: Optional[str] = None
+
+
+def trace_mode() -> str:
+    """The active mode: programmatic override, else ``REPRO_TRACE``, else off.
+
+    Unrecognized environment values fall back to ``off`` — a typo in a
+    deployment manifest must never make tracing *more* expensive.
+    """
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    mode = os.environ.get(TRACE_ENV, "off").strip().lower()
+    return mode if mode in TRACE_MODES else "off"
+
+
+def set_trace_mode(mode: Optional[str]) -> None:
+    """Override the trace mode in-process (``None`` restores the env)."""
+    global _MODE_OVERRIDE
+    if mode is not None and mode not in TRACE_MODES:
+        raise ValueError(
+            f"unknown trace mode {mode!r}; expected one of {', '.join(TRACE_MODES)}"
+        )
+    _MODE_OVERRIDE = mode
+
+
+class SpanRecorder:
+    """Bounded, thread-safe store of finished span events (full mode)."""
+
+    def __init__(self, limit: int = MAX_TRACE_SPANS) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+        self._next_id = 0
+        self.limit = limit
+        self.dropped = 0
+        #: perf_counter epoch event ``start_s`` offsets are relative to.
+        self.origin = clock.perf_counter()
+
+    def next_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def record(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            if len(self._events) < self.limit:
+                self._events.append(event)
+                return
+            self.dropped += 1
+        get_registry().counter("obs.spans.dropped").inc()
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Remove and return every stored event (oldest first)."""
+        with self._lock:
+            events, self._events = self._events, []
+            self.dropped = 0
+            return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_RECORDER = SpanRecorder()
+
+
+def get_recorder() -> SpanRecorder:
+    """The process-global recorder full-mode spans append to."""
+    return _RECORDER
+
+
+#: The innermost open span's id in this thread/task (full mode only).
+_CURRENT: ContextVar[Optional[int]] = ContextVar("repro_obs_current_span", default=None)
+
+
+class _NullSpan:
+    """The off-mode span: one shared instance, no state, no timing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed section (summary/full modes); use via :func:`span`."""
+
+    __slots__ = ("name", "attrs", "mode", "span_id", "parent_id", "duration_s",
+                 "_start", "_token")
+
+    def __init__(self, name: str, mode: str, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.mode = mode
+        self.attrs = attrs
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+        self.duration_s: Optional[float] = None
+        self._token = None
+
+    def __enter__(self) -> "Span":
+        if self.mode == "full":
+            self.span_id = _RECORDER.next_id()
+            self.parent_id = _CURRENT.get()
+            self._token = _CURRENT.set(self.span_id)
+        self._start = clock.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.duration_s = clock.perf_counter() - self._start
+        registry = get_registry()
+        registry.counter("span.calls", name=self.name).inc()
+        registry.histogram("span.seconds", name=self.name).observe(self.duration_s)
+        if self.mode == "full":
+            if self._token is not None:
+                _CURRENT.reset(self._token)
+            _RECORDER.record({
+                "kind": "span",
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "name": self.name,
+                "start_s": round(self._start - _RECORDER.origin, 9),
+                "duration_s": round(self.duration_s, 9),
+                "attrs": self.attrs,
+            })
+        return False
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """A context manager timing one named section of work.
+
+    *name* must be a static string (the ``telemetry-discipline`` lint
+    rule enforces this); varying detail goes into ``**attrs``, which
+    full-mode traces carry per event.  The returned object exposes
+    ``duration_s`` after exit in summary/full modes.
+    """
+    mode = trace_mode()
+    if mode == "off":
+        get_registry().counter("span.calls", name=name).inc()
+        return _NULL_SPAN
+    return Span(name, mode, attrs)
+
+
+class TraceSession:
+    """Capture one operation's span tree and write it as JSONL.
+
+    Forces ``full`` mode for its dynamic extent, drains the recorder on
+    entry (the trace starts clean) and on exit (the trace owns exactly
+    the spans that finished inside it), then restores whatever mode was
+    configured before.  The CLI's ``--trace FILE`` wraps each command
+    handler in one of these.
+    """
+
+    def __init__(self, mode: str = "full") -> None:
+        if mode not in TRACE_MODES:
+            raise ValueError(f"unknown trace mode {mode!r}")
+        self.mode = mode
+        self.events: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "TraceSession":
+        self._previous = _MODE_OVERRIDE
+        set_trace_mode(self.mode)
+        _RECORDER.drain()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        self.dropped = _RECORDER.dropped
+        self.events = _RECORDER.drain()
+        set_trace_mode(self._previous)
+        return False
+
+    @property
+    def span_count(self) -> int:
+        return len(self.events)
+
+    def write_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Write header + one line per span; returns the span count.
+
+        Line 1 is the trace header (``kind: "trace"``, schema version,
+        mode, span/drop counts, export timestamp); every further line
+        is one span event with ``id``/``parent`` links forming the
+        tree.  See ``docs/OBSERVABILITY.md`` for the field catalog.
+        """
+        header = {
+            "v": 1,
+            "kind": "trace",
+            "mode": self.mode,
+            "spans": len(self.events),
+            "dropped": self.dropped,
+            "exported_unix": round(clock.wall_time(), 3),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True, default=str) + "\n")
+        return len(self.events)
+
+
+def trace_session(mode: str = "full") -> TraceSession:
+    """A :class:`TraceSession` (spelled as a function for symmetry)."""
+    return TraceSession(mode)

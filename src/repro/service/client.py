@@ -172,6 +172,18 @@ class ServiceClient:
         """The service's counter snapshot (coalesced, engine_runs, ...)."""
         return self._request({"op": "stats"})
 
+    def metrics(self) -> Dict[str, Any]:
+        """The service's full telemetry snapshot.
+
+        The same versioned document
+        :meth:`repro.obs.MetricsRegistry.snapshot` exports locally —
+        ``{"version", "exported_unix", "counters", "gauges",
+        "histograms"}`` — but read from the *service process*, so it
+        covers every query the daemon has served (engine spans, store
+        timings, per-op latency histograms, degradation counters).
+        """
+        return self._request({"op": "metrics"})
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the service to stop (acknowledged before it goes down)."""
         return self._request({"op": "shutdown"})

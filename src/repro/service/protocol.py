@@ -9,7 +9,7 @@ Requests::
 
     {"v": 1, "id": 7, "op": "query", "spec": {...ExperimentSpec...},
      "target_halfwidth": 0.01, "max_batch_bytes": 268435456}
-    {"v": 1, "id": 8, "op": "ping" | "stats" | "shutdown"}
+    {"v": 1, "id": 8, "op": "ping" | "stats" | "metrics" | "shutdown"}
 
 Responses::
 

@@ -39,7 +39,10 @@ from functools import partial
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from ..engine.api import backend_availability
 from ..lab import ExperimentSpec, LabRunResult, Orchestrator, PrecisionRunResult, ResultStore
+from ..obs import COUNT_BUCKETS, clock, get_registry
+from ..xp import namespace_name, resolve_namespace
 from .protocol import (
     DEFAULT_PORT,
     MAX_LINE_BYTES,
@@ -135,6 +138,11 @@ class AcceptanceService:
         self._key_locks: Dict[str, _KeyLock] = {}
         self._stop_task: Optional[asyncio.Task] = None
         self._connections: set = set()  # open StreamWriters, for stop()
+        self._started_perf: Optional[float] = None
+        self._array_namespace: Optional[str] = None
+        #: joiner counts per in-flight identity, drained into the
+        #: ``service.coalesce.depth`` histogram when the run completes.
+        self._coalesce_depth: Dict[CoalesceKey, int] = {}
 
     # -- lifecycle ----------------------------------------------------
 
@@ -150,7 +158,17 @@ class AcceptanceService:
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self._started_perf = clock.perf_counter()
+        # Resolve the array namespace once at startup so ``stats`` can
+        # report the identity engine runs will actually execute on.
+        self._array_namespace = namespace_name(resolve_namespace()[0])
         return self.host, self.port
+
+    def uptime_seconds(self) -> float:
+        """Seconds since :meth:`start` bound the listener (0.0 before)."""
+        if self._started_perf is None:
+            return 0.0
+        return clock.perf_counter() - self._started_perf
 
     async def stop(self) -> None:
         """Close the listener and drain the worker pool (idempotent)."""
@@ -234,9 +252,29 @@ class AcceptanceService:
                 pass
 
     async def _respond(self, line: bytes) -> Tuple[Dict[str, Any], bool]:
-        """One request line -> (response message, shutdown?)."""
+        """One request line -> (response message, shutdown?).
+
+        Thin telemetry shell around :meth:`_dispatch`: every request —
+        including malformed ones, labelled ``op="invalid"`` — lands in
+        the ``service.requests`` counter and the per-op latency
+        histogram ``service.op.seconds``.
+        """
+        start = clock.perf_counter()
+        response, shutdown, op_label = await self._dispatch(line)
+        registry = get_registry()
+        registry.counter("service.requests", op=op_label).inc()
+        registry.histogram("service.op.seconds", op=op_label).observe(
+            clock.perf_counter() - start
+        )
+        return response, shutdown
+
+    async def _dispatch(
+        self, line: bytes
+    ) -> Tuple[Dict[str, Any], bool, str]:
+        """One request line -> (response message, shutdown?, op label)."""
         self.stats.requests += 1
         request_id: Any = None
+        op_label = "invalid"
         try:
             request = decode_line(line)
             request_id = request.get("id")
@@ -247,6 +285,8 @@ class AcceptanceService:
                     f"{PROTOCOL_VERSION}; upgrade the server"
                 )
             op = request.get("op")
+            if isinstance(op, str) and op:
+                op_label = op
             if op == "ping":
                 from .. import __version__
 
@@ -260,24 +300,48 @@ class AcceptanceService:
                         },
                     ),
                     False,
+                    op_label,
                 )
             if op == "stats":
                 result = self.stats.snapshot()
                 result["store"] = str(self.store.path)
                 result["workers"] = self.workers
                 result["inflight"] = len(self._inflight)
-                return ok_response(request_id, result), False
+                result["inflight_keys"] = len(self._key_locks)
+                result["uptime_seconds"] = self.uptime_seconds()
+                result["array_namespace"] = self._array_namespace
+                result["backends"] = {
+                    name: ok for name, (ok, _detail) in backend_availability().items()
+                }
+                result["degradations"] = get_registry().counters_with_prefix(
+                    "engine.degradations"
+                )
+                return ok_response(request_id, result), False, op_label
+            if op == "metrics":
+                return (
+                    ok_response(request_id, get_registry().snapshot()),
+                    False,
+                    op_label,
+                )
             if op == "shutdown":
-                return ok_response(request_id, {"stopping": True}), True
+                return ok_response(request_id, {"stopping": True}), True, op_label
             if op == "query":
-                return await self._handle_query(request, request_id), False
+                return (
+                    await self._handle_query(request, request_id),
+                    False,
+                    op_label,
+                )
             raise ProtocolError(f"unknown op {op!r}")
         except ProtocolError as exc:
             self.stats.errors += 1
-            return error_response(request_id, "protocol", str(exc)), False
+            return error_response(request_id, "protocol", str(exc)), False, op_label
         except (TypeError, ValueError) as exc:
             self.stats.errors += 1
-            return error_response(request_id, "bad-request", str(exc)), False
+            return (
+                error_response(request_id, "bad-request", str(exc)),
+                False,
+                op_label,
+            )
         except Exception as exc:  # repro-lint: disable=broad-except -- envelope boundary: handlers answer with an error envelope, never a torn connection
             self.stats.errors += 1
             return (
@@ -285,6 +349,7 @@ class AcceptanceService:
                     request_id, "internal", f"{type(exc).__name__}: {exc}"
                 ),
                 False,
+                op_label,
             )
 
     # -- query execution ----------------------------------------------
@@ -313,6 +378,7 @@ class AcceptanceService:
         budget: Optional[int],
     ) -> Tuple[Dict[str, Any], bool]:
         """Coalescing front: identical concurrent queries share one task."""
+        registry = get_registry()
         ident: CoalesceKey = (spec.key, spec.trials, target)
         task = self._inflight.get(ident)
         if task is None:
@@ -321,15 +387,28 @@ class AcceptanceService:
                 self._execute(spec, target, budget)
             )
             self._inflight[ident] = task
+            self._coalesce_depth[ident] = 1
             task.add_done_callback(partial(self._inflight_done, ident))
         else:
             coalesced = True
             self.stats.coalesced += 1
+            self._coalesce_depth[ident] = self._coalesce_depth.get(ident, 1) + 1
+            registry.counter("service.coalesced").inc()
+        registry.gauge("service.inflight").set(float(len(self._inflight)))
+        registry.gauge("service.inflight_keys").set(float(len(self._key_locks)))
         # shield: a joiner's cancellation must not kill the shared run.
         return await asyncio.shield(task), coalesced
 
     def _inflight_done(self, ident: CoalesceKey, task: asyncio.Task) -> None:
         self._inflight.pop(ident, None)
+        registry = get_registry()
+        depth = self._coalesce_depth.pop(ident, None)
+        if depth is not None:
+            registry.histogram(
+                "service.coalesce.depth", buckets=COUNT_BUCKETS
+            ).observe(float(depth))
+        registry.gauge("service.inflight").set(float(len(self._inflight)))
+        registry.gauge("service.inflight_keys").set(float(len(self._key_locks)))
         if not task.cancelled():
             task.exception()  # consume, so no "never retrieved" warning
 
@@ -376,21 +455,34 @@ class AcceptanceService:
     # -- bookkeeping and payload shaping ------------------------------
 
     def _note_run(self, run: LabRunResult) -> None:
+        registry = get_registry()
         if run.trials_executed > 0:
             self.stats.engine_runs += 1
             self.stats.trials_executed += run.trials_executed
+            registry.counter("service.engine_runs").inc()
+            registry.counter("service.trials_executed").inc(run.trials_executed)
         bucket = {"cache": "cache_hits", "deepened": "deepened", "fresh": "fresh"}
         setattr(
             self.stats,
             bucket[run.source],
             getattr(self.stats, bucket[run.source]) + 1,
         )
+        registry.counter("service.runs", source=run.source).inc()
 
     def _note_precision(self, precision: PrecisionRunResult) -> None:
         self.stats.precision_queries += 1
         self.stats.precision_rounds += precision.rounds
         self.stats.engine_runs += precision.executed_rounds
         self.stats.trials_executed += precision.trials_executed
+        registry = get_registry()
+        registry.counter("service.precision_queries").inc()
+        registry.counter("service.precision_rounds").inc(precision.rounds)
+        if precision.executed_rounds > 0:
+            registry.counter("service.engine_runs").inc(precision.executed_rounds)
+        if precision.trials_executed > 0:
+            registry.counter("service.trials_executed").inc(
+                precision.trials_executed
+            )
 
     @staticmethod
     def _result_payload(run: LabRunResult) -> Dict[str, Any]:

@@ -365,3 +365,93 @@ class TestWallclockHygiene:
             t1 = time.monotonic()
         """
         assert run(src, ELSEWHERE, "wallclock-hygiene") == []
+
+    def test_clock_module_is_sanctioned(self):
+        """The one wall-clock sanction: repro/obs/clock.py."""
+        src = """
+            import time
+            def wall_time():
+                return time.time()
+        """
+        assert run(src, "src/repro/obs/clock.py", "wallclock-hygiene") == []
+        # The same source anywhere else still fires.
+        assert len(run(src, ELSEWHERE, "wallclock-hygiene")) == 1
+
+    def test_sanction_list_is_an_option(self):
+        import textwrap
+
+        from repro.lint import LintConfig, lint_source
+
+        src = textwrap.dedent(
+            """
+            import time
+            stamp = time.time()
+            """
+        )
+        config = LintConfig(
+            select=["wallclock-hygiene"],
+            options={"wallclock-hygiene": {"sanctioned": ("lab/fake_module.py",)}},
+        )
+        assert lint_source(src, ELSEWHERE, config=config) == []
+        # Replacing the sanction list un-sanctions the default module.
+        assert (
+            len(lint_source(src, "src/repro/obs/clock.py", config=config)) == 1
+        )
+
+
+class TestTelemetryDiscipline:
+    def test_fstring_span_name_fires(self):
+        src = """
+            from repro.obs import span
+            def traced(backend):
+                with span(f"engine.{backend}.count"):
+                    pass
+        """
+        (finding,) = run(src, ELSEWHERE, "telemetry-discipline")
+        assert "f-string" in finding.message
+
+    def test_computed_counter_name_fires(self):
+        src = """
+            def count(registry, name):
+                registry.counter("engine." + name).inc()
+        """
+        (finding,) = run(src, ELSEWHERE, "telemetry-discipline")
+        assert "computed expression" in finding.message
+
+    def test_variable_histogram_name_fires(self):
+        src = """
+            def observe(registry, metric, value):
+                registry.histogram(metric).observe(value)
+        """
+        assert len(run(src, ELSEWHERE, "telemetry-discipline")) == 1
+
+    def test_literal_names_with_dynamic_labels_are_silent(self):
+        src = """
+            from repro.obs import get_registry, span
+            def traced(backend, trials):
+                registry = get_registry()
+                registry.counter("engine.backend.calls", backend=backend).inc()
+                registry.gauge("service.inflight").set(float(trials))
+                with span("engine.backend.count", backend=backend):
+                    pass
+        """
+        assert run(src, ELSEWHERE, "telemetry-discipline") == []
+
+    def test_unrelated_span_calls_are_silent(self):
+        """``re`` match spans and zero-arg calls are not instruments."""
+        src = """
+            import re
+            def bounds(pattern, text, registry):
+                m = re.search(pattern, text)
+                lo, hi = m.span(1)
+                registry.counter()  # zero positional args: not a lookup
+                return lo, hi
+        """
+        assert run(src, ELSEWHERE, "telemetry-discipline") == []
+
+    def test_similarly_named_helpers_are_silent(self):
+        src = """
+            def grow(alloc_counter, name):
+                return alloc_counter(name)
+        """
+        assert run(src, ELSEWHERE, "telemetry-discipline") == []

@@ -1,0 +1,168 @@
+"""Span semantics: trace modes, the parent tree, and the JSONL export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MAX_TRACE_SPANS,
+    SpanRecorder,
+    TraceSession,
+    get_recorder,
+    get_registry,
+    set_trace_mode,
+    span,
+    trace_mode,
+    trace_session,
+)
+from repro.obs.spans import _NULL_SPAN
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace_state():
+    """Every test starts in off mode with an empty recorder/registry."""
+    set_trace_mode(None)
+    get_recorder().drain()
+    get_registry().reset()
+    yield
+    set_trace_mode(None)
+    get_recorder().drain()
+    get_registry().reset()
+
+
+class TestTraceMode:
+    def test_default_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert trace_mode() == "off"
+
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "summary")
+        assert trace_mode() == "summary"
+
+    def test_unknown_env_value_falls_back_to_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "verbose")
+        assert trace_mode() == "off"
+
+    def test_override_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "full")
+        set_trace_mode("off")
+        assert trace_mode() == "off"
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            set_trace_mode("everything")
+
+
+class TestOffMode:
+    def test_span_is_the_shared_null_singleton(self):
+        a = span("engine.run", backend="batched")
+        b = span("lab.run")
+        assert a is _NULL_SPAN and b is _NULL_SPAN
+
+    def test_off_mode_still_counts_calls(self):
+        with span("engine.run"):
+            pass
+        counters = get_registry().snapshot()["counters"]
+        assert counters["span.calls{name=engine.run}"] == 1
+
+    def test_off_mode_records_nothing_and_times_nothing(self):
+        with span("engine.run"):
+            pass
+        assert len(get_recorder()) == 0
+        assert "span.seconds{name=engine.run}" not in (
+            get_registry().snapshot()["histograms"]
+        )
+
+
+class TestSummaryMode:
+    def test_spans_fold_into_histograms_without_events(self):
+        set_trace_mode("summary")
+        with span("engine.run") as s:
+            pass
+        assert s.duration_s is not None and s.duration_s >= 0.0
+        doc = get_registry().snapshot()
+        assert doc["histograms"]["span.seconds{name=engine.run}"]["count"] == 1
+        assert len(get_recorder()) == 0
+
+
+class TestFullMode:
+    def test_parent_links_form_a_tree(self):
+        with trace_session() as session:
+            with span("outer", layer="test"):
+                with span("inner"):
+                    pass
+                with span("inner"):
+                    pass
+        events = session.events
+        assert [e["name"] for e in events] == ["inner", "inner", "outer"]
+        outer = events[-1]
+        assert outer["parent"] is None
+        assert all(e["parent"] == outer["id"] for e in events[:-1])
+        assert outer["attrs"] == {"layer": "test"}
+
+    def test_sibling_threads_do_not_nest(self):
+        parents = {}
+
+        def worker(tag):
+            with span("threaded") as s:
+                parents[tag] = s.parent_id
+
+        with trace_session():
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert parents == {0: None, 1: None}
+
+    def test_recorder_bounded_with_drop_counting(self):
+        recorder = SpanRecorder(limit=2)
+        for i in range(5):
+            recorder.record({"id": i})
+        assert len(recorder) == 2 and recorder.dropped == 3
+        assert get_registry().snapshot()["counters"]["obs.spans.dropped"] == 3
+        assert len(recorder.drain()) == 2
+        assert recorder.dropped == 0
+
+    def test_global_recorder_limit_is_fleet_sized(self):
+        assert get_recorder().limit == MAX_TRACE_SPANS
+
+
+class TestTraceSession:
+    def test_restores_previous_mode(self):
+        set_trace_mode("summary")
+        with trace_session():
+            assert trace_mode() == "full"
+        assert trace_mode() == "summary"
+
+    def test_write_jsonl_header_and_events(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with TraceSession() as session:
+            with span("engine.run", trials=10):
+                pass
+        assert session.write_jsonl(path) == 1
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        header, events = lines[0], lines[1:]
+        assert header["kind"] == "trace" and header["v"] == 1
+        assert header["mode"] == "full"
+        assert header["spans"] == len(events) == 1
+        assert header["dropped"] == 0
+        assert events[0]["name"] == "engine.run"
+        assert events[0]["attrs"] == {"trials": 10}
+
+    def test_session_owns_only_its_spans(self):
+        with trace_session() as first:
+            with span("a"):
+                pass
+        with trace_session() as second:
+            with span("b"):
+                pass
+        assert [e["name"] for e in first.events] == ["a"]
+        assert [e["name"] for e in second.events] == ["b"]
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown trace mode"):
+            TraceSession("loud")

@@ -184,3 +184,80 @@ class TestLabCommands:
         monkeypatch.setenv("REPRO_LAB_STORE", str(tmp_path / "envstore"))
         args = build_parser().parse_args(["lab", "status"])
         assert args.store == str(tmp_path / "envstore")
+
+
+class TestTraceFlag:
+    def test_sample_trace_writes_parseable_span_tree(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["sample", "--k", "1", "--trials", "30", "--trace", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Pr[accept]" in captured.out
+        assert "trace:" in captured.err and str(path) in captured.err
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        header, events = lines[0], lines[1:]
+        assert header["kind"] == "trace" and header["v"] == 1
+        assert header["spans"] == len(events) >= 2
+        names = {event["name"] for event in events}
+        assert {"engine.run", "engine.backend.count"} <= names
+        ids = {event["id"] for event in events}
+        assert all(
+            event["parent"] is None or event["parent"] in ids
+            for event in events
+        ), "dangling parent link"
+
+    def test_lab_run_trace(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        assert main(
+            ["lab", "run", "--k", "1", "--trials", "20",
+             "--store", str(tmp_path / "store"), "--trace", str(path)]
+        ) == 0
+        events = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ][1:]
+        names = {event["name"] for event in events}
+        assert {"lab.run", "lab.store.scan", "lab.store.append"} <= names
+
+    def test_trace_never_changes_counts(self, tmp_path, capsys):
+        args = ["sample", "--k", "1", "--trials", "40", "--seed", "9"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--trace", str(tmp_path / "t.jsonl")]) == 0
+        traced = capsys.readouterr().out
+        pick = lambda out: [l for l in out.splitlines() if "accepted=" in l]
+        assert pick(plain) == pick(traced)
+
+
+class TestMetricsCommand:
+    def test_parser_knows_metrics(self):
+        args = build_parser().parse_args(["metrics", "--json"])
+        assert args.command == "metrics" and args.json
+
+    def test_metrics_json_against_live_service(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import get_registry
+        from repro.service import ServiceClient, ServiceThread
+
+        get_registry().reset()
+        with ServiceThread(tmp_path / "store", workers=1) as svc:
+            with ServiceClient(port=svc.port) as client:
+                client.query(family="member", k=1, trials=30, seed=2)
+            assert main(["metrics", "--port", str(svc.port), "--json"]) == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["version"] == 1
+            assert doc["counters"]["service.engine_runs"] == 1
+            assert main(["metrics", "--port", str(svc.port)]) == 0
+            human = capsys.readouterr().out
+            assert "telemetry snapshot v1" in human
+            assert "Counters" in human and "Histograms" in human
+        get_registry().reset()
+
+    def test_metrics_unreachable_service_fails_cleanly(self, capsys):
+        assert main(["metrics", "--port", "1", "--timeout", "0.5"]) == 1
+        assert "cannot reach service" in capsys.readouterr().err
