@@ -123,23 +123,56 @@ def _bench_trials() -> int:
 ENGINE_HISTORY = ENGINE_RECORD.with_name("BENCH_history.jsonl")
 
 
-def _lint_summary() -> tuple:
-    """``(rules_enabled, violations)`` for the live src tree, via the
+def _lint_summary() -> dict:
+    """Whole-program lint stats for the live src tree, via the
     in-process checker — the history line records that the tree was
-    invariant-clean when the numbers were taken.  ``(None, None)`` when
-    the tree layout makes linting impossible (no silent zero)."""
+    invariant-clean (file rules *and* the cross-module analyses) when
+    the numbers were taken, plus the size and cost of the call graph
+    the project pass built.  All-``None`` when the tree layout makes
+    linting impossible (no silent zero)."""
     try:
-        from repro.lint import lint_paths
+        from repro.lint import lint_paths, registered_rules
 
-        report = lint_paths([str(ENGINE_RECORD.parent / "src" / "repro")])
+        report = lint_paths(
+            [str(ENGINE_RECORD.parent / "src" / "repro")], project=True
+        )
     except (ImportError, ValueError, OSError):
-        return None, None
-    return len(report.rules), len(report.findings)
+        return {
+            "lint_rules": None,
+            "lint_violations": None,
+            "lint_project_rules": None,
+            "lint_project_violations": None,
+            "lint_call_graph_edges": None,
+            "lint_analysis_seconds": None,
+        }
+    stats = report.project or {}
+    project_rules = [
+        rule_id
+        for rule_id, cls in registered_rules().items()
+        if cls.scope == "project" and rule_id in report.rules
+    ]
+    return {
+        "lint_rules": len(report.rules),
+        "lint_violations": len(report.findings),
+        "lint_project_rules": len(project_rules),
+        "lint_project_violations": len(
+            [f for f in report.findings if f.scope == "project"]
+        ),
+        "lint_call_graph_edges": (
+            stats.get("call_edges", 0) + stats.get("ref_edges", 0)
+        ),
+        "lint_analysis_seconds": round(
+            stats.get("build_seconds", 0.0) + stats.get("check_seconds", 0.0),
+            6,
+        ),
+    }
 
 
 def _append_history(record: dict) -> None:
     """One compact JSON line per full bench run, appended forever."""
     import subprocess
+
+    from repro.obs.clock import wall_time
 
     try:
         commit = (
@@ -152,11 +185,11 @@ def _append_history(record: dict) -> None:
             ).stdout.strip()
             or None
         )
-    except Exception:
+    except Exception:  # repro-lint: disable=broad-except -- probe boundary: any git failure (missing repo, missing binary, timeout) just means "commit unknown"
         commit = None
     on_device = record["gpu"]["device"] != "none"
     entry = {
-        "timestamp": round(time.time(), 1),
+        "timestamp": round(wall_time(), 1),
         "commit": commit,
         "trials": record["trials"],
         "batched_speedup_over_sequential": {
@@ -180,7 +213,7 @@ def _append_history(record: dict) -> None:
             "cached_queries_per_second"
         ],
     }
-    entry["lint_rules"], entry["lint_violations"] = _lint_summary()
+    entry.update(_lint_summary())
     # Per-layer latency percentiles and per-(recognizer, backend) trial
     # costs, read from the telemetry registry the bench run populated.
     telemetry = record.get("telemetry", {})
@@ -619,11 +652,16 @@ def test_engine_backend_throughput():
                 ),
             }
     layers = {}
-    for layer in (
-        "lab.store.scan.seconds",
-        "lab.store.append.seconds",
+    for layer, hist in (
+        (
+            "lab.store.scan.seconds",
+            registry.histogram("lab.store.scan.seconds").to_dict(),
+        ),
+        (
+            "lab.store.append.seconds",
+            registry.histogram("lab.store.append.seconds").to_dict(),
+        ),
     ):
-        hist = registry.histogram(layer).to_dict()
         layers[layer] = {
             "count": hist["count"],
             "p50_seconds": hist["p50"],

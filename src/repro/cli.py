@@ -471,12 +471,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         return 0
     config = LintConfig(select=args.rule or None)
     try:
-        report = lint_paths(args.paths, config=config)
+        report = lint_paths(args.paths, config=config, project=args.project)
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
     if args.json:
         print(report.to_json())
+    elif args.format == "github":
+        print(report.render_github())
     else:
         print(report.render_human())
     return report.exit_code
@@ -624,6 +626,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="machine-readable report (schema versioned; CI archives it)",
+    )
+    lint.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program rules (cross-module call-graph "
+        "and dataflow analysis: seed-flow, async-blocking, "
+        "lock-discipline)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("human", "github"),
+        default="human",
+        help="human lines (default) or GitHub workflow annotations "
+        "(::error file=...) that surface inline on PRs",
     )
     lint.add_argument(
         "--list-rules",

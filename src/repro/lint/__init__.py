@@ -10,8 +10,11 @@ machine-checked on every commit.
 
 Entry points
 ------------
-* CLI: ``repro lint [--rule ID] [--json] [paths]`` (exit 0 clean,
-  1 findings, 2 bad invocation);
+* CLI: ``repro lint [--project] [--rule ID] [--json|--format github]
+  [paths]`` (exit 0 clean, 1 findings, 2 bad invocation);
+  ``--project`` additionally builds the whole-program model
+  (:mod:`repro.lint.project`) and runs the cross-module rules
+  (seed-flow, async-blocking, lock-discipline);
 * Python: :func:`lint_paths` / :func:`lint_source` returning
   :class:`LintReport` / :class:`Finding` lists;
 * suppression: ``# repro-lint: disable=rule-id -- reason`` on the
@@ -30,11 +33,13 @@ from .framework import (
     Finding,
     LintConfig,
     ModuleContext,
+    ProjectRule,
     Rule,
     register_rule,
     registered_rules,
 )
 from .pragmas import Pragma, scan_pragmas
+from .project import ParsedModule, ProjectModel, build_project
 from .runner import JSON_VERSION, LintReport, lint_paths, lint_source
 
 
@@ -57,8 +62,12 @@ __all__ = [
     "LintConfig",
     "LintReport",
     "ModuleContext",
+    "ParsedModule",
     "Pragma",
+    "ProjectModel",
+    "ProjectRule",
     "Rule",
+    "build_project",
     "default_rule_ids",
     "lint_paths",
     "lint_source",

@@ -36,13 +36,20 @@ PARSE_ERROR = "parse-error"
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``scope`` says which kind of analysis produced it: ``"file"`` for
+    the single-module rules, ``"project"`` for whole-program rules
+    whose evidence spans modules (the location is still the one line
+    where the violation manifests, so pragmas apply identically).
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    scope: str = "file"
 
     def render(self) -> str:
         """``path:line:col: rule: message`` (the human output line)."""
@@ -55,6 +62,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "scope": self.scope,
         }
 
 
@@ -76,8 +84,18 @@ class ModuleContext:
     options: Dict[str, Any]
 
     def matches(self, suffixes: Iterable[str]) -> bool:
-        """True when this module's path ends with any allowlist entry."""
-        return any(self.norm_path.endswith(entry) for entry in suffixes)
+        """True when this module's path matches any allowlist entry.
+
+        An entry ending in ``/`` is a directory fragment and matches
+        anywhere in the path (``benchmarks/`` covers every driver);
+        any other entry matches as a path suffix (``repro/rng.py``).
+        """
+        return any(
+            entry in self.norm_path
+            if entry.endswith("/")
+            else self.norm_path.endswith(entry)
+            for entry in suffixes
+        )
 
     def in_dirs(self, fragments: Iterable[str]) -> bool:
         """True when any path fragment (``repro/quantum/``) occurs."""
@@ -96,6 +114,9 @@ class Rule:
     id: str = "abstract"
     #: One-line description for ``repro lint --list-rules`` and docs.
     summary: str = ""
+    #: ``"file"`` rules see one module at a time; ``"project"`` rules
+    #: (subclasses of :class:`ProjectRule`) see the whole-program model.
+    scope: str = "file"
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
@@ -108,6 +129,52 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
+            scope=self.scope,
+        )
+
+
+class ProjectRule(Rule):
+    """One invariant checked against the whole-program model.
+
+    Project rules register exactly like file rules (same registry, same
+    ids, same pragma vocabulary, same JSON report) but their unit of
+    analysis is the :class:`repro.lint.project.ProjectModel` — the
+    parsed tree of *every* checked module plus the import and call
+    graphs built over it — so they can verify properties no single file
+    exhibits: a seed flowing across a module boundary, a blocking call
+    three frames below a coroutine, a lock taken in a caller.
+
+    They only run when the runner is asked for project mode
+    (``repro lint --project``); per-module linting stays exactly as
+    cheap as before.  Subclasses implement :meth:`check_project`;
+    :meth:`check` is never called for them.
+    """
+
+    scope: str = "project"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise TypeError(f"project rule {self.id!r} has no per-module check")
+
+    def check_project(
+        self, project: Any, options: Dict[str, Any]
+    ) -> Iterator[Finding]:
+        """Yield findings against a ``ProjectModel`` (see ``project.py``).
+
+        *options* plays the role ``ModuleContext.options`` plays for
+        file rules: the per-rule configuration dict from
+        :class:`LintConfig`.
+        """
+        raise NotImplementedError
+
+    def finding_at(self, path: str, node: ast.AST, message: str) -> Finding:
+        """A project-scoped :class:`Finding` anchored at *node* in *path*."""
+        return Finding(
+            rule=self.id,
+            path=path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            scope=self.scope,
         )
 
 

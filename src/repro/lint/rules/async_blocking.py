@@ -1,0 +1,195 @@
+"""``async-blocking`` — service coroutines never block the event loop.
+
+The service's concurrency story (``docs/ARCHITECTURE.md``) is exactly
+one thread running the event loop plus a bounded worker pool: engine
+runs and store I/O are blocking (NumPy, process pools, ``flock``-ed
+appends), so they execute via ``loop.run_in_executor`` while the loop
+keeps answering pings, coalescing joiners and accepting connections.
+One synchronous ``orchestrator.run(spec)`` — or a ``store.scan()``
+three frames down — stalls *every* connected client for the duration
+of an engine run, and no test that happens to finish quickly will
+notice.
+
+A local rule cannot see this: the blocking operation usually lives in
+another module.  The whole-program pass:
+
+1. seeds a **blocking set** with the known blocking primitives
+   (``time.sleep``, ``open``, ``os.open/write/...``, ``subprocess.*``,
+   ``Path.read_text``-family; option ``blocking_calls`` /
+   ``blocking_attrs``) and the documented blocking roots (engine and
+   orchestrator runs, store scans/appends; option ``blocking_roots``);
+2. propagates blockingness up the ``call`` edges of the graph through
+   synchronous project functions (a sync function that calls a
+   blocking function is blocking);
+3. flags every **call** edge from a coroutine in the service layer
+   (option ``service_paths``) into the blocking set.
+
+``ref`` edges never propagate or fire: handing ``orchestrator.run``
+to ``run_in_executor`` (a reference, not a call) *is* the sanctioned
+executor boundary, so the correct idiom passes by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..framework import Finding, ProjectRule, call_name, register_rule
+from ..project import CALL, ProjectModel, iter_own_nodes
+
+#: Blocking primitives matched on the exact dotted name at the call
+#: site (``open`` is the builtin).
+DEFAULT_BLOCKING_CALLS: Sequence[str] = (
+    "time.sleep",
+    "open",
+    "os.open",
+    "os.write",
+    "os.read",
+    "os.fsync",
+    "os.replace",
+    "os.remove",
+    "os.rename",
+    "subprocess.run",
+    "subprocess.Popen",
+    "subprocess.check_output",
+    "subprocess.check_call",
+)
+
+#: Blocking primitives matched on the final attribute segment — the
+#: ``pathlib`` I/O family, whose receiver is some path expression.
+DEFAULT_BLOCKING_ATTRS: Sequence[str] = (
+    "read_text",
+    "write_text",
+    "read_bytes",
+    "write_bytes",
+)
+
+#: Functions that are blocking *by contract*, whatever their bodies
+#: look like to the analysis: engine runs (NumPy compute, process
+#: pools) and the store/orchestrator surface.  Matched as whole dotted
+#: qualname segments.
+DEFAULT_BLOCKING_ROOTS: Sequence[str] = (
+    "ExecutionEngine.estimate_acceptance",
+    "ExecutionEngine.run_many",
+    "Orchestrator.run",
+    "Orchestrator.run_to_precision",
+    "ResultStore.scan",
+    "ResultStore.load",
+    "ResultStore.append",
+    "ResultStore.compact",
+)
+
+#: Where the checked coroutines live.
+DEFAULT_SERVICE_PATHS: Sequence[str] = ("repro/service/",)
+
+
+@register_rule
+class AsyncBlockingRule(ProjectRule):
+    id = "async-blocking"
+    summary = (
+        "whole-program: service coroutines must route blocking work "
+        "(engine runs, store I/O, sleeps) through the executor pool"
+    )
+
+    def check_project(
+        self, project: ProjectModel, options: Dict
+    ) -> Iterator[Finding]:
+        blocking_calls = set(
+            options.get("blocking_calls", DEFAULT_BLOCKING_CALLS)
+        )
+        blocking_attrs = set(
+            options.get("blocking_attrs", DEFAULT_BLOCKING_ATTRS)
+        )
+        blocking_roots = tuple(
+            options.get("blocking_roots", DEFAULT_BLOCKING_ROOTS)
+        )
+        service_paths = tuple(
+            options.get("service_paths", DEFAULT_SERVICE_PATHS)
+        )
+        # qualname -> human-readable witness of why it blocks.
+        blocking: Dict[str, str] = {
+            qualname: f"{qualname} (blocking by contract)"
+            for qualname in project.functions_matching(blocking_roots)
+        }
+        for fn in project.functions.values():
+            primitive = self._direct_primitive(
+                fn.node, blocking_calls, blocking_attrs
+            )
+            if primitive is not None and fn.qualname not in blocking:
+                blocking[fn.qualname] = f"{primitive}() in {fn.qualname}"
+        self._propagate(project, blocking)
+        for fn in sorted(project.functions.values(), key=lambda f: f.qualname):
+            if not fn.is_async or not any(
+                fragment in fn.norm_path for fragment in service_paths
+            ):
+                continue
+            for site in fn.calls:
+                if site.kind != CALL:
+                    continue
+                witness = None
+                if site.name in blocking_calls or (
+                    "." in site.name
+                    and site.name.split(".")[-1] in blocking_attrs
+                ):
+                    witness = f"{site.name}()"
+                else:
+                    for target in site.targets:
+                        if target in blocking:
+                            witness = blocking[target]
+                            break
+                if witness is None:
+                    continue
+                yield self.finding_at(
+                    fn.path,
+                    site.node,
+                    f"coroutine {fn.qualname} calls {site.name}() which "
+                    f"blocks the event loop ({witness}); hand the callable "
+                    "to loop.run_in_executor so the service keeps "
+                    "answering while it runs",
+                )
+
+    @staticmethod
+    def _direct_primitive(
+        fn_node: ast.AST, blocking_calls: Set[str], blocking_attrs: Set[str]
+    ) -> Optional[str]:
+        """The first blocking primitive called directly, or ``None``."""
+        for node in iter_own_nodes(fn_node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name is None:
+                continue
+            if name in blocking_calls:
+                return name
+            if "." in name and name.split(".")[-1] in blocking_attrs:
+                return name
+        return None
+
+    @staticmethod
+    def _propagate(project: ProjectModel, blocking: Dict[str, str]) -> None:
+        """Close the blocking set over ``call`` edges via sync callers.
+
+        Coroutines never *become* blocking — awaiting them suspends
+        rather than stalls — so propagation stops at async functions;
+        each service coroutine is judged on its own call edges instead.
+        """
+        # Reverse edges once: callee -> sync callers through call edges.
+        callers: Dict[str, List[Tuple[str, str]]] = {}
+        for fn in project.functions.values():
+            if fn.is_async:
+                continue
+            for site in fn.calls:
+                if site.kind != CALL:
+                    continue
+                for target in site.targets:
+                    callers.setdefault(target, []).append(
+                        (fn.qualname, site.name)
+                    )
+        frontier = list(blocking)
+        while frontier:
+            callee = frontier.pop()
+            for caller, via in callers.get(callee, ()):
+                if caller in blocking:
+                    continue
+                blocking[caller] = f"{caller} -> {blocking[callee]}"
+                frontier.append(caller)

@@ -46,6 +46,10 @@ DEFAULT_SEED_SITES: Sequence[str] = (
     "repro/lab/spec.py",
     "repro/core/quantum_recognizer.py",
     "repro/core/classical_recognizer.py",
+    # Benchmark drivers are experiment roots: they own their parent
+    # seeds the same way the CLI does.  (The seed-flow project rule
+    # still checks what any counting path builds generators *from*.)
+    "benchmarks/",
 )
 
 #: ``np.random`` members that are construction-from-a-seed; allowed in

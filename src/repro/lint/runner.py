@@ -1,21 +1,32 @@
 """Run the rules over files and trees; assemble a :class:`LintReport`.
 
 The runner owns everything rule modules should not care about: file
-discovery, parsing, pragma application, rule selection, and the two
-output encodings (human lines and the versioned JSON document CI
-archives).  Exit-code policy (stable, part of the public contract):
+discovery, parsing (each file exactly once, shared by the per-file
+rules and the whole-program pass), pragma application, rule selection,
+and the output encodings (human lines, GitHub workflow annotations,
+and the versioned JSON document CI archives).  Exit-code policy
+(stable, part of the public contract):
 
 * ``0`` — every checked file parsed and no finding survived pragmas;
 * ``1`` — at least one finding (including ``parse-error`` and
   ``unused-suppression``);
-* ``2`` — the *invocation* was unusable: unknown rule name, or a path
-  that does not exist.  (The CLI maps ``ValueError`` from here to 2.)
+* ``2`` — the *invocation* was unusable: unknown rule name, a path
+  that does not exist, or paths under which no Python file was found
+  (zero files silently reading as a pass is how a typo'd CI path
+  disables the gate).  The CLI maps ``ValueError`` from here to 2.
+
+Project mode (``lint_paths(..., project=True)``) additionally builds
+the :class:`repro.lint.project.ProjectModel` over the parsed modules
+and runs every registered :class:`ProjectRule`.  Project findings join
+the per-file findings *before* pragma application, so one pragma
+grammar serves both scopes and staleness detection stays exact.
 """
 
 from __future__ import annotations
 
 import ast
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence
@@ -29,10 +40,13 @@ from .framework import (
     registered_rules,
 )
 from .pragmas import apply_pragmas, scan_pragmas
+from .project import ParsedModule, build_project
 
 #: JSON schema version for the ``--json`` document; bump on breaking
-#: shape changes so CI consumers can pin.
-JSON_VERSION = 1
+#: shape changes so CI consumers can pin.  v2 added the per-finding
+#: ``scope`` field (``file`` | ``project``) and the top-level
+#: ``project`` object (analysis stats, ``null`` outside project mode).
+JSON_VERSION = 2
 
 
 @dataclass
@@ -42,6 +56,9 @@ class LintReport:
     findings: List[Finding] = field(default_factory=list)
     rules: List[str] = field(default_factory=list)
     files_checked: int = 0
+    #: Project-analysis stats (module/function/edge counts, wall
+    #: times); ``None`` when the run was per-file only.
+    project: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -65,6 +82,7 @@ class LintReport:
             "findings": [f.to_dict() for f in self.findings],
             "counts": self.counts_by_rule(),
             "ok": self.ok,
+            "project": self.project,
         }
 
     def to_json(self) -> str:
@@ -72,6 +90,16 @@ class LintReport:
 
     def render_human(self) -> str:
         lines = [f.render() for f in self.findings]
+        if self.project is not None:
+            lines.append(
+                "repro lint: project graph: "
+                f"{self.project['modules']} modules, "
+                f"{self.project['functions']} functions, "
+                f"{self.project['call_edges']} call edges "
+                f"(+{self.project['ref_edges']} refs), "
+                f"built in {self.project['build_seconds']:.3f}s, "
+                f"checked in {self.project['check_seconds']:.3f}s"
+            )
         noun = "file" if self.files_checked == 1 else "files"
         if self.ok:
             lines.append(
@@ -84,6 +112,55 @@ class LintReport:
                 f"{self.files_checked} {noun} ({len(self.rules)} rules)"
             )
         return "\n".join(lines)
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow annotations, one per finding.
+
+        ``::error file=...,line=...,col=...,title=...::message`` lines
+        surface inline on the PR diff; the human summary line follows
+        so the job log stays readable on its own.
+        """
+        lines = [_github_annotation(f) for f in self.findings]
+        noun = "file" if self.files_checked == 1 else "files"
+        if self.ok:
+            lines.append(
+                f"repro lint: {self.files_checked} {noun} clean "
+                f"({len(self.rules)} rules)"
+            )
+        else:
+            lines.append(
+                f"repro lint: {len(self.findings)} finding(s) in "
+                f"{self.files_checked} {noun} ({len(self.rules)} rules)"
+            )
+        return "\n".join(lines)
+
+
+def _github_escape_property(value: str) -> str:
+    """Escape a ``key=value`` property per the workflow-command grammar."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _github_escape_data(value: str) -> str:
+    """Escape the message part (after ``::``) of a workflow command."""
+    return value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _github_annotation(finding: Finding) -> str:
+    properties = ",".join(
+        (
+            f"file={_github_escape_property(finding.path)}",
+            f"line={finding.line}",
+            f"col={finding.col}",
+            f"title={_github_escape_property(f'repro-lint {finding.rule}')}",
+        )
+    )
+    return f"::error {properties}::{_github_escape_data(finding.message)}"
 
 
 def _sort_key(finding: Finding):
@@ -99,10 +176,13 @@ def lint_source(
     """Lint one in-memory module; the unit tests' front door.
 
     *path* is used for display and allowlist matching only — nothing
-    is read from disk.
+    is read from disk.  Per-file rules only: a single module is not a
+    project, so project-scoped rules are filtered out rather than run
+    against a one-file graph that would under-approximate everything.
     """
     config = config if config is not None else LintConfig()
     resolved = list(rules) if rules is not None else config.resolve_rules()
+    resolved = [rule for rule in resolved if rule.scope == "file"]
     norm = Path(path).as_posix()
     try:
         tree = ast.parse(source, filename=path)
@@ -165,16 +245,110 @@ def discover_files(paths: Iterable[str]) -> List[Path]:
 def lint_paths(
     paths: Iterable[str],
     config: Optional[LintConfig] = None,
+    project: bool = False,
 ) -> LintReport:
-    """Lint every ``*.py`` file under *paths*; the CLI/CI entry point."""
+    """Lint every ``*.py`` file under *paths*; the CLI/CI entry point.
+
+    With ``project=True`` the parsed modules additionally feed the
+    whole-program pass (:mod:`repro.lint.project`) and every
+    registered project rule runs over the resulting model.  Without
+    it, project rules are skipped — unless ``config.select`` names one
+    explicitly, which is an invocation error (the selection would
+    otherwise silently check nothing).
+    """
     config = config if config is not None else LintConfig()
+    path_list = [str(p) for p in paths]
     rules = config.resolve_rules()  # ValueError on unknown selections
-    report = LintReport(rules=[rule.id for rule in rules])
-    for file_path in discover_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        report.findings.extend(
-            lint_source(source, str(file_path), config=config, rules=rules)
+    file_rules = [rule for rule in rules if rule.scope == "file"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    if not project:
+        if config.select is not None and project_rules:
+            names = ", ".join(rule.id for rule in project_rules)
+            raise ValueError(
+                f"rule(s) {names} are project-scoped; run with --project"
+            )
+        project_rules = []
+    files = discover_files(path_list)
+    if not files:
+        raise ValueError(
+            "no Python files found under: " + ", ".join(path_list)
         )
+    report = LintReport(
+        rules=[rule.id for rule in file_rules + project_rules]
+    )
+    units: List[ParsedModule] = []
+    sources: Dict[str, str] = {}
+    per_file: Dict[str, List[Finding]] = {}
+    for file_path in files:
+        path = str(file_path)
         report.files_checked += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            # An unreadable file is unlintable, which must fail the
+            # gate (like a parse failure), not shrink its coverage.
+            report.findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=path,
+                    line=1,
+                    col=1,
+                    message=f"file cannot be read: {exc}",
+                )
+            )
+            continue
+        sources[path] = source
+        norm = file_path.as_posix()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.findings.append(
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1 if exc.offset else 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+            continue
+        units.append(
+            ParsedModule(path=path, norm_path=norm, tree=tree, source=source)
+        )
+        bucket = per_file.setdefault(path, [])
+        for rule in file_rules:
+            module = ModuleContext(
+                path=path,
+                norm_path=norm,
+                tree=tree,
+                source=source,
+                options=config.options_for(rule.id),
+            )
+            bucket.extend(rule.check(module))
+    if project:
+        model = build_project(units)
+        check_start = time.perf_counter()
+        for rule in project_rules:
+            for finding in rule.check_project(
+                model, config.options_for(rule.id)
+            ):
+                per_file.setdefault(finding.path, []).append(finding)
+        report.project = dict(model.stats)
+        report.project["check_seconds"] = round(
+            time.perf_counter() - check_start, 6
+        )
+    known = set(registered_rules())
+    active = {rule.id for rule in file_rules + project_rules}
+    for path in sorted(per_file):
+        findings = sorted(per_file[path], key=_sort_key)
+        report.findings.extend(
+            apply_pragmas(
+                path,
+                findings,
+                scan_pragmas(sources.get(path, "")),
+                known_rules=known,
+                active_rules=active,
+            )
+        )
     report.findings.sort(key=_sort_key)
     return report

@@ -99,6 +99,72 @@ class TestPragmas:
         assert findings  # both entries report, neither silences the other
         assert all(f.rule == "unused-suppression" for f in findings)
 
+    def test_crlf_sources_parse_and_suppress(self):
+        src = (
+            "import time\r\n"
+            "stamp = time.time()  "
+            "# repro-lint: disable=wallclock-hygiene -- test\r\n"
+        )
+        (pragma,) = scan_pragmas(src)
+        assert pragma.line == 2
+        assert lint_source(src, "src/repro/fake.py") == []
+
+    def test_pragma_anchors_to_the_statement_line_not_the_close(self):
+        """Findings anchor where the expression starts; a pragma on
+        the closing paren of a multi-line call suppresses nothing (and
+        is itself reported stale)."""
+        src = (
+            "import time\n"
+            "stamp = time.time(\n"
+            ")  # repro-lint: disable=wallclock-hygiene -- wrong line\n"
+        )
+        findings = lint_source(src, "src/repro/fake.py")
+        assert {f.rule for f in findings} == {
+            "wallclock-hygiene",
+            "unused-suppression",
+        }
+        on_first = (
+            "import time\n"
+            "stamp = time.time(  "
+            "# repro-lint: disable=wallclock-hygiene -- anchor line\n"
+            ")\n"
+        )
+        assert lint_source(on_first, "src/repro/fake.py") == []
+
+    def test_comma_list_may_carry_spaces(self):
+        src = (
+            "import time\n"
+            "a = time.time()  "
+            "# repro-lint: disable=broad-except , wallclock-hygiene -- test\n"
+        )
+        findings = lint_source(src, "src/repro/fake.py")
+        # wallclock suppressed; the broad-except entry is stale here.
+        assert [f.rule for f in findings] == ["unused-suppression"]
+
+    def test_only_the_first_disable_clause_in_a_comment_parses(self):
+        """One pragma per line is the grammar; a second ``disable=``
+        clause is reason text, so the comma list is the only way to
+        name several rules."""
+        src = (
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=broad-except -- r "
+            "# repro-lint: disable=wallclock-hygiene\n"
+        )
+        findings = lint_source(src, "src/repro/fake.py")
+        assert any(f.rule == "wallclock-hygiene" for f in findings)
+
+    def test_unknown_rule_pragma_reported_in_project_mode(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "mod.py").write_text(
+            "x = 1  # repro-lint: disable=not-a-rule\n", encoding="utf-8"
+        )
+        report = lint_paths([str(tmp_path)], project=True)
+        (finding,) = report.findings
+        assert finding.rule == "unused-suppression"
+        assert "not-a-rule" in finding.message
+
     def test_rule_filtered_run_ignores_other_rules_pragmas(self):
         """A --rule run must not call another rule's live pragma stale."""
         src = (
@@ -133,9 +199,57 @@ class TestReport:
         assert doc["files_checked"] == 1
         assert doc["ok"] is False
         assert doc["counts"] == {"wallclock-hygiene": 1}
-        assert set(doc["rules"]) == set(default_rule_ids())
+        assert doc["project"] is None  # per-file run: no analysis stats
         (entry,) = doc["findings"]
-        assert set(entry) == {"rule", "path", "line", "col", "message"}
+        assert set(entry) == {"rule", "path", "line", "col", "message", "scope"}
+        assert entry["scope"] == "file"
+
+    def test_project_run_document_carries_stats_and_scope(self, tmp_path):
+        target = tmp_path / "pkg" / "mod.py"
+        target.parent.mkdir(parents=True)
+        (tmp_path / "pkg" / "__init__.py").write_text("", encoding="utf-8")
+        target.write_text("def f():\n    pass\n", encoding="utf-8")
+        report = lint_paths([str(tmp_path)], project=True)
+        doc = json.loads(report.to_json())
+        assert doc["version"] == JSON_VERSION
+        stats = doc["project"]
+        assert stats["modules"] == 2 and stats["functions"] == 1
+        assert set(stats) >= {
+            "modules",
+            "functions",
+            "classes",
+            "call_edges",
+            "ref_edges",
+            "build_seconds",
+            "check_seconds",
+        }
+
+    def test_empty_directory_raises(self, tmp_path):
+        """Zero discovered files must be exit 2, not a silent pass —
+        a typo'd CI path would otherwise disable the gate."""
+        with pytest.raises(ValueError, match="no Python files found"):
+            lint_paths([str(tmp_path)])
+
+    def test_project_rule_selection_requires_project_mode(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="project-scoped"):
+            lint_paths(
+                [str(tmp_path)], config=LintConfig(select=["seed-flow"])
+            )
+
+    def test_github_format_escapes_and_annotates(self, tmp_path):
+        target = tmp_path / "bad.py"
+        target.write_text(VIOLATION, encoding="utf-8")
+        report = lint_paths([str(target)])
+        rendered = report.render_github()
+        first = rendered.splitlines()[0]
+        assert first.startswith("::error file=")
+        assert f"file={target}".replace(":", "%3A") in first or (
+            f"file={target}" in first
+        )
+        assert ",line=2,col=9," in first
+        assert "title=repro-lint wallclock-hygiene" in first
+        assert "::error" not in rendered.splitlines()[-1]  # human summary
 
     def test_human_render_mentions_totals(self, tmp_path):
         clean = tmp_path / "ok.py"
@@ -164,6 +278,40 @@ class TestCli:
     def test_missing_path_exits_two(self, capsys):
         assert main(["lint", "definitely/not/here"]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+    def test_empty_directory_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path)]) == 2
+        assert "no Python files found" in capsys.readouterr().err
+
+    def test_project_rule_without_project_flag_exits_two(
+        self, tmp_path, capsys
+    ):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", "--rule", "seed-flow", str(tmp_path)]) == 2
+        assert "--project" in capsys.readouterr().err
+
+    def test_project_flag_runs_whole_program_rules(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("", encoding="utf-8")
+        (pkg / "backend.py").write_text(
+            "import numpy as np\n"
+            "class Backend:\n"
+            "    def count_accepted(self, root):\n"
+            "        return np.random.default_rng(7)\n",
+            encoding="utf-8",
+        )
+        assert main(["lint", "--project", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "seed-flow" in out
+        assert "project graph:" in out
+
+    def test_github_format_emits_workflow_annotations(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(VIOLATION, encoding="utf-8")
+        assert main(["lint", "--format", "github", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert out.startswith("::error file=")
+        assert "title=repro-lint wallclock-hygiene" in out
 
     def test_json_flag_emits_versioned_document(self, tmp_path, capsys):
         (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")

@@ -8,7 +8,10 @@ tests prove the gate actually bites by re-linting real modules with a
 violation injected.
 """
 
+import shutil
 from pathlib import Path
+
+import pytest
 
 import repro
 from repro.lint import LintConfig, default_rule_ids, lint_paths, lint_source
@@ -23,9 +26,56 @@ class TestLiveTree:
         assert report.files_checked > 50  # the whole package, not a subdir
 
     def test_all_rules_enabled_none_advisory(self):
+        """A default run enables every file rule; a ``--project`` run
+        enables the full registry.  No rule is opt-in."""
         report = lint_paths([str(PACKAGE_DIR)])
-        assert set(report.rules) == set(default_rule_ids())
         assert len(report.rules) >= 5
+        project_report = lint_paths([str(PACKAGE_DIR)], project=True)
+        assert set(project_report.rules) == set(default_rule_ids())
+        assert set(report.rules) < set(project_report.rules)
+
+    def test_src_tree_passes_the_whole_program_pass(self):
+        report = lint_paths([str(PACKAGE_DIR)], project=True)
+        assert report.findings == [], "\n" + report.render_human()
+        assert {"seed-flow", "async-blocking", "lock-discipline"} <= set(
+            report.rules
+        )
+
+    def test_project_analysis_is_not_vacuous(self):
+        """A clean project pass is only meaningful if the graph really
+        covers the tree: every backend entry point resolved, edges in
+        the hundreds, and the service/orchestrator spine connected."""
+        report = lint_paths([str(PACKAGE_DIR)], project=True)
+        stats = report.project
+        assert stats is not None
+        assert stats["modules"] > 80
+        assert stats["functions"] > 500
+        assert stats["call_edges"] > 800
+        assert stats["ref_edges"] > 50
+        assert stats["build_seconds"] > 0
+        assert stats["check_seconds"] > 0
+
+
+@pytest.fixture(scope="module")
+def tree_copy(tmp_path_factory):
+    """A pristine copy of ``src/repro`` for whole-tree mutations."""
+    root = tmp_path_factory.mktemp("live") / "repro"
+    shutil.copytree(
+        PACKAGE_DIR, root, ignore=shutil.ignore_patterns("__pycache__")
+    )
+    return root
+
+
+def mutate_project(tree_copy: Path, rel: str, old: str, new: str) -> list:
+    """Project-lint the copied tree with one mutation applied."""
+    target = tree_copy / rel
+    original = target.read_text(encoding="utf-8")
+    assert old in original, f"mutation anchor vanished from {rel}"
+    target.write_text(original.replace(old, new, 1), encoding="utf-8")
+    try:
+        return lint_paths([str(tree_copy)], project=True).findings
+    finally:
+        target.write_text(original, encoding="utf-8")
 
 
 def mutate(module: Path, old: str, new: str) -> list:
@@ -92,6 +142,59 @@ class TestMutationsAreCaught:
         assert injected != source
         findings = lint_source(injected, str(module))
         assert any(f.rule == "resource-discipline" for f in findings)
+
+
+class TestProjectMutationsAreCaught:
+    """Each whole-program rule bites on the bug class it encodes,
+    injected into the *real* tree — and on violations the per-file
+    rules are structurally blind to."""
+
+    def test_literal_seed_inside_a_sanctioned_seed_site_is_caught(
+        self, tree_copy
+    ):
+        """``sequential.py`` is an rng-discipline seed site, so the
+        file rule passes this mutation; only the dataflow pass sees
+        that the seed no longer derives from the plan."""
+        findings = mutate_project(
+            tree_copy,
+            "engine/sequential.py",
+            "np.random.default_rng(s) for s in seeds",
+            "np.random.default_rng(999) for s in seeds",
+        )
+        assert any(f.rule == "seed-flow" for f in findings)
+        assert not any(f.rule == "rng-discipline" for f in findings)
+
+    def test_blocking_store_call_in_coroutine_is_caught(self, tree_copy):
+        findings = mutate_project(
+            tree_copy,
+            "service/server.py",
+            "        spec = ExperimentSpec.from_dict(spec_data)",
+            "        spec = ExperimentSpec.from_dict(spec_data)\n"
+            "        self.store.scan()",
+        )
+        assert any(f.rule == "async-blocking" for f in findings)
+
+    def test_append_without_store_lock_is_caught(self, tree_copy):
+        findings = mutate_project(
+            tree_copy,
+            "lab/store.py",
+            "        with _StoreLock(self.path):\n"
+            "            fd = os.open(",
+            "        if True:\n"
+            "            fd = os.open(",
+        )
+        assert any(f.rule == "lock-discipline" for f in findings)
+
+    def test_dispatch_outside_per_key_lock_is_caught(self, tree_copy):
+        findings = mutate_project(
+            tree_copy,
+            "service/server.py",
+            "            async with entry.lock:\n"
+            "                loop = asyncio.get_running_loop()",
+            "            if True:\n"
+            "                loop = asyncio.get_running_loop()",
+        )
+        assert any(f.rule == "lock-discipline" for f in findings)
 
 
 class TestConfigOverrides:
