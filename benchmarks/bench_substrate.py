@@ -168,14 +168,12 @@ def _lint_summary() -> dict:
     }
 
 
-def _append_history(record: dict) -> None:
-    """One compact JSON line per full bench run, appended forever."""
+def _bench_commit():
+    """Short git head for history lines; ``None`` outside a checkout."""
     import subprocess
 
-    from repro.obs.clock import wall_time
-
     try:
-        commit = (
+        return (
             subprocess.run(
                 ["git", "rev-parse", "--short", "HEAD"],
                 capture_output=True,
@@ -186,7 +184,14 @@ def _append_history(record: dict) -> None:
             or None
         )
     except Exception:  # repro-lint: disable=broad-except -- probe boundary: any git failure (missing repo, missing binary, timeout) just means "commit unknown"
-        commit = None
+        return None
+
+
+def _append_history(record: dict) -> None:
+    """One compact JSON line per full bench run, appended forever."""
+    from repro.obs.clock import wall_time
+
+    commit = _bench_commit()
     on_device = record["gpu"]["device"] != "none"
     entry = {
         "timestamp": round(wall_time(), 1),
@@ -681,3 +686,149 @@ def test_engine_backend_throughput():
     ), "instrumentation gap: a swept backend recorded no engine.run spans"
 
     _write_engine_record(record, smoke)
+
+
+def _bench_store_keys() -> int:
+    """Key count for the fleet-scale store benchmark.
+
+    ``REPRO_BENCH_STORE_KEYS`` shrinks the run to a smoke test; below
+    10 000 keys the latency gates are skipped (fixed per-shard costs
+    dominate) but the lease-safety and count invariants are still
+    enforced, and nothing is written to the tracked record.
+    """
+    import os
+
+    return int(os.environ.get("REPRO_BENCH_STORE_KEYS", "100000"))
+
+
+def _write_store_record(section: dict, smoke: bool) -> None:
+    """Merge the ``store`` section into the tracked engine record and
+    append one ``kind: store`` history line.  Read-modify-write so a
+    store-only rerun never clobbers the engine numbers (and vice versa:
+    the engine bench rewrites the whole record, so full runs execute it
+    first)."""
+    if smoke:
+        json.dumps(section, allow_nan=False)  # schema check only
+        return
+    from repro.obs.clock import wall_time
+
+    document = {}
+    if ENGINE_RECORD.exists():
+        document = json.loads(ENGINE_RECORD.read_text(encoding="utf-8"))
+    document["store"] = section
+    ENGINE_RECORD.write_text(
+        json.dumps(document, indent=2, allow_nan=False) + "\n"
+    )
+    entry = {
+        "kind": "store",
+        "timestamp": round(wall_time(), 1),
+        "commit": _bench_commit(),
+    }
+    entry.update(section)
+    with ENGINE_HISTORY.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True, allow_nan=False) + "\n")
+
+
+def test_store_fleet_scale(tmp_path):
+    """The sharded ResultStore at fleet scale: 10^5 keys.
+
+    Measures bulk seeding, full compaction, ``status()``, and sampled
+    keyed reads, then exercises the eviction-vs-lease rule at scale.
+    Gates (full scale only):
+
+    - ``lab status`` on the compacted store is sub-second and served
+      from the per-shard indexes alone (zero full-file scans);
+    - sampled ``deepest()`` reads on the compacted store cost zero
+      full-file scans (index lookup + seek only).
+
+    Always enforced, smoke included: eviction never drops a leased key,
+    and the store accounts for every seeded experiment.
+    """
+    from repro.lab import ResultStore
+    from repro.lab.store import LabRecord
+    from repro.obs.metrics import get_registry
+
+    keys = _bench_store_keys()
+    smoke = keys < 10_000
+    store = ResultStore(tmp_path / "store")
+    records = [
+        LabRecord(
+            key=f"bench-{i:06d}",
+            spec={"bench": i},
+            trials=100,
+            accepted=i % 101,
+            backend="bench",
+            elapsed_s=0.0,
+        )
+        for i in range(keys)
+    ]
+
+    start = time.perf_counter()
+    assert store.append_many(records) == keys
+    seed_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    store.compact()
+    compact_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    status = store.status()
+    status_seconds = time.perf_counter() - start
+    assert status.experiments == keys and status.checkpoints == keys
+    assert status.active_leases == 0 and status.legacy_records == 0
+
+    registry = get_registry()
+
+    def scan_total() -> int:
+        return sum(registry.counters_with_prefix("lab.store.file_scans").values())
+
+    sample = [records[i] for i in range(0, keys, max(1, keys // 100))]
+    scans_before = scan_total()
+    start = time.perf_counter()
+    for record in sample:
+        served = store.deepest(record.key)
+        assert served is not None and served.accepted == record.accepted
+    read_seconds = time.perf_counter() - start
+    keyed_read_scans = scan_total() - scans_before
+
+    leased = [records[i].key for i in range(0, keys, max(1, keys // 50))][:50]
+    for key in leased:
+        assert store.claim(key, "bench-owner", ttl_s=3600.0)
+    start = time.perf_counter()
+    evicted = store.evict(ttl_seconds=0.0)
+    evict_seconds = time.perf_counter() - start
+
+    # The two invariants that hold at every scale: leases pin their
+    # keys through an evict-everything pass, and nothing else survives.
+    assert set(leased).isdisjoint(evicted)
+    assert len(evicted) == keys - len(leased)
+    for key in leased:
+        assert store.deepest(key) is not None
+
+    if not smoke:
+        assert status.source == "index"
+        assert status_seconds < 1.0, (
+            f"lab status took {status_seconds:.3f}s on {keys} keys"
+        )
+        assert keyed_read_scans == 0, (
+            f"{keyed_read_scans} full-file scans on indexed keyed reads"
+        )
+
+    _write_store_record(
+        {
+            "keys": keys,
+            "shards": status.shards,
+            "indexed_shards": status.indexed_shards,
+            "seed_seconds": round(seed_seconds, 6),
+            "compact_seconds": round(compact_seconds, 6),
+            "status_seconds": round(status_seconds, 6),
+            "status_source": status.source,
+            "keyed_reads": len(sample),
+            "keyed_read_avg_seconds": round(read_seconds / len(sample), 9),
+            "keyed_read_file_scans": keyed_read_scans,
+            "leased": len(leased),
+            "evicted": len(evicted),
+            "evict_seconds": round(evict_seconds, 6),
+        },
+        smoke,
+    )

@@ -247,15 +247,18 @@ def _cmd_lab_status(args: argparse.Namespace) -> int:
     from .lab import ResultStore
 
     store = ResultStore(args.store)
-    snapshot = store.scan()
-    latest = store.latest_by_key(snapshot.records)
-    print(f"store: {store.path}")
+    status = store.status()
+    print(f"store: {store.root}")
     print(
-        f"experiments: {len(latest)}  checkpoints: {len(snapshot.records)}  "
-        f"corrupt lines skipped: {snapshot.corrupt_lines}"
+        f"experiments: {status.experiments}  checkpoints: {status.checkpoints}  "
+        f"corrupt lines skipped: {status.corrupt_lines}"
     )
-    print(f"stored trials (deepest per experiment): "
-          f"{sum(r.trials for r in latest.values())}")
+    print(f"stored trials (deepest per experiment): {status.stored_trials}")
+    print(
+        f"shards: {status.shards} ({status.indexed_shards} indexed)  "
+        f"active leases: {status.active_leases}  "
+        f"legacy records: {status.legacy_records}  source: {status.source}"
+    )
     return 0
 
 
@@ -267,7 +270,7 @@ def _cmd_lab_report(args: argparse.Namespace) -> int:
     snapshot = store.scan()
     latest = store.latest_by_key(snapshot.records)
     table = Table(
-        f"Lab store report — {store.path}",
+        f"Lab store report — {store.root}",
         ["key", "experiment", "backend", "trials", "accepted",
          "Pr[accept]", "stderr", "Wilson 95%"],
     )
@@ -300,6 +303,31 @@ def _cmd_lab_report(args: argparse.Namespace) -> int:
     table.print()
     if snapshot.corrupt_lines:
         print(f"(skipped {snapshot.corrupt_lines} corrupt line(s))")
+    return 0
+
+
+def _cmd_lab_compact(args: argparse.Namespace) -> int:
+    from .lab import Orchestrator
+
+    if args.ttl_seconds is not None and args.ttl_seconds < 0:
+        print("lab compact: --ttl-seconds must be non-negative", file=sys.stderr)
+        return 2
+    if args.max_keys is not None and args.max_keys < 0:
+        print("lab compact: --max-keys must be non-negative", file=sys.stderr)
+        return 2
+    report = Orchestrator(args.store).maintain(
+        ttl_seconds=args.ttl_seconds, max_keys=args.max_keys
+    )
+    print(f"store: {args.store}")
+    print(
+        f"evicted keys: {report.evicted_keys}  "
+        f"removed lines: {report.removed_lines}  "
+        f"shards: {report.shards} ({report.indexed_shards} indexed)"
+    )
+    print(
+        f"experiments: {report.experiments}  checkpoints: {report.checkpoints}  "
+        f"active leases: {report.active_leases}  ({report.elapsed_s:.3f} s)"
+    )
     return 0
 
 
@@ -803,6 +831,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--store", default=store_default,
                         help="store directory (env REPRO_LAB_STORE)")
     report.set_defaults(func=_cmd_lab_report)
+
+    compact = labsub.add_parser(
+        "compact", help="evict per policy, compact shards, rebuild indexes"
+    )
+    compact.add_argument("--store", default=store_default,
+                         help="store directory (env REPRO_LAB_STORE)")
+    compact.add_argument(
+        "--ttl-seconds", type=float, default=None,
+        help="evict keys whose deepest rung is older than this (default: no TTL)",
+    )
+    compact.add_argument(
+        "--max-keys", type=int, default=None,
+        help="evict oldest keys beyond this count (default: no cap)",
+    )
+    compact.set_defaults(func=_cmd_lab_compact)
 
     return parser
 

@@ -16,9 +16,11 @@ as a cumulative checkpoint in an append-only JSON-lines store, so:
 Layers:
 
 * :mod:`repro.lab.spec`  — :class:`ExperimentSpec` + content-hash keys;
-* :mod:`repro.lab.store` — :class:`ResultStore`, the durable
+* :mod:`repro.lab.shards` — shard routing and the per-shard offset
+  index (pure logic shared by store, tests, and tools);
+* :mod:`repro.lab.store` — :class:`ResultStore`, the durable sharded
   checkpoint log (atomic appends, corruption-tolerant reads, schema
-  versioning);
+  versioning, verified indexes, tombstone eviction, leases);
 * :mod:`repro.lab.orchestrator` — :class:`Orchestrator`, the
   cache / deepen / fresh decision.
 
@@ -28,17 +30,35 @@ Entry points: ``Orchestrator(store).run(spec)`` from code,
 """
 
 from .spec import ExperimentSpec, WORD_FAMILIES
-from .store import LabRecord, ResultStore, SCHEMA_VERSION, StoreScan
-from .orchestrator import LabRunResult, Orchestrator, PrecisionRunResult
+from .shards import ShardIndex, shard_prefix
+from .store import (
+    ControlRecord,
+    LabRecord,
+    ResultStore,
+    SCHEMA_VERSION,
+    StoreScan,
+    StoreStatus,
+)
+from .orchestrator import (
+    LabRunResult,
+    MaintenanceReport,
+    Orchestrator,
+    PrecisionRunResult,
+)
 
 __all__ = [
     "ExperimentSpec",
     "WORD_FAMILIES",
+    "ControlRecord",
     "LabRecord",
     "ResultStore",
     "SCHEMA_VERSION",
+    "ShardIndex",
     "StoreScan",
+    "StoreStatus",
+    "shard_prefix",
     "LabRunResult",
+    "MaintenanceReport",
     "Orchestrator",
     "PrecisionRunResult",
 ]

@@ -75,6 +75,23 @@ class PrecisionRunResult:
         return self.final.key
 
 
+@dataclass(frozen=True)
+class MaintenanceReport:
+    """Outcome of one background store-maintenance pass."""
+
+    evicted_keys: int  # tombstones appended this pass
+    removed_lines: int  # lines reclaimed by compaction
+    shards: int
+    indexed_shards: int  # shards whose sidecar index is fresh (== shards after a pass)
+    experiments: int
+    checkpoints: int
+    active_leases: int
+    elapsed_s: float
+
+    def to_document(self) -> dict:
+        return dict(vars(self))
+
+
 class Orchestrator:
     """Runs :class:`ExperimentSpec`\\ s through a :class:`ResultStore`.
 
@@ -162,7 +179,17 @@ class Orchestrator:
         key = spec.key
         scan_start = time.perf_counter()
         with span("lab.store.scan"):
-            ladder = self.store.checkpoints(key)
+            deepest = self.store.deepest(key)
+            if deepest is not None and deepest.trials > spec.trials:
+                # Deeper rungs than requested are on record: only the
+                # full ladder can say whether the exact depth (or the
+                # nearest shallower prefix) is among them.
+                ladder = self.store.checkpoints(key)
+            else:
+                # The common fleet path: the deepest rung (one index
+                # lookup + one verified seek on a compacted store) is
+                # the exact match or the best deepening base.
+                ladder = [deepest] if deepest is not None else []
         registry.histogram("lab.store.scan.seconds").observe(
             time.perf_counter() - scan_start
         )
@@ -293,6 +320,39 @@ class Orchestrator:
                     f"~{next_trials} trials, above max_trials={max_trials}"
                 )
             current = current.with_trials(next_trials)
+
+    def maintain(
+        self,
+        *,
+        ttl_seconds: Optional[float] = None,
+        max_keys: Optional[int] = None,
+    ) -> MaintenanceReport:
+        """One background maintenance pass: evict, compact, summarize.
+
+        Eviction appends TTL/LRU tombstones (a key holding an active
+        lease is never touched); compaction reclaims the bytes and
+        rebuilds every shard's sidecar index, absorbing any legacy
+        flat file on the way.  Each shard compacts under its own
+        lock, so concurrent :meth:`run` appends are never blocked —
+        this is the op the service exposes for live fleets.
+        """
+        start = time.perf_counter()
+        with span("lab.maintain"):
+            evicted = self.store.evict(ttl_seconds=ttl_seconds, max_keys=max_keys)
+            removed = self.store.compact()
+            status = self.store.status()
+        elapsed = time.perf_counter() - start
+        get_registry().counter("lab.maintenance_runs").inc()
+        return MaintenanceReport(
+            evicted_keys=len(evicted),
+            removed_lines=removed,
+            shards=status.shards,
+            indexed_shards=status.indexed_shards,
+            experiments=status.experiments,
+            checkpoints=status.checkpoints,
+            active_leases=status.active_leases,
+            elapsed_s=elapsed,
+        )
 
     @staticmethod
     def _estimate(spec: ExperimentSpec, record: LabRecord) -> AcceptanceEstimate:

@@ -150,6 +150,18 @@ class ExperimentSpec:
         canon = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("ascii")).hexdigest()
 
+    @property
+    def shard(self) -> str:
+        """The store shard this spec's checkpoints live in.
+
+        Delegates to :func:`repro.lab.shards.shard_prefix` over
+        :attr:`key`, so routing is as stable across processes and
+        platforms as the content key itself.
+        """
+        from .shards import shard_prefix
+
+        return shard_prefix(self.key)
+
     def with_trials(self, trials: int) -> "ExperimentSpec":
         """The same experiment at a different depth (same key)."""
         return replace(self, trials=trials)

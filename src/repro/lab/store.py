@@ -1,12 +1,23 @@
-"""Durable experiment results: an append-only JSON-lines checkpoint log.
+"""Durable experiment results: a sharded, indexed, append-only JSONL store.
 
-One :class:`ResultStore` owns a directory with a single
-``results.jsonl``.  Every line is one :class:`LabRecord` — a *cumulative
-checkpoint* of an experiment: "after ``trials`` trials of the run keyed
-``key``, ``accepted`` of them accepted".  The log is append-only, so a
-deepened experiment accumulates a ladder of checkpoints (1 000, 10 000,
-500 000, ...) and any rung can later serve — or seed the continuation
-of — a request at that depth.
+One :class:`ResultStore` owns a directory.  Keys route to
+``shards/<prefix>/results.jsonl`` by the stable prefix function
+:func:`repro.lab.shards.shard_prefix`; a legacy flat ``results.jsonl``
+at the root (the pre-shard layout) is still read transparently and is
+absorbed into the shards by the first :meth:`ResultStore.compact`.
+Every data line is one of:
+
+* a :class:`LabRecord` — a *cumulative checkpoint*: "after ``trials``
+  trials of the run keyed ``key``, ``accepted`` of them accepted".
+  Checkpoints form a per-key deepening ladder (1 000, 10 000, ...) and
+  any rung can later serve — or seed the continuation of — a request
+  at that depth;
+* a :class:`ControlRecord` — an append-only policy record carrying a
+  ``control`` kind: ``tombstone`` (eviction: masks every earlier
+  checkpoint of its key until compaction removes both), ``claim`` (a
+  lease: ``owner`` holds ``key`` for ``ttl_s`` seconds) or ``release``.
+  Readers that predate control records skip them as unreadable lines —
+  eviction and leasing compose with corruption tolerance by design.
 
 Durability properties:
 
@@ -21,7 +32,20 @@ Durability properties:
   load;
 * **schema versioning** — every line carries ``schema``; lines from a
   *newer* schema than this code understands are skipped, not
-  misparsed, so old readers degrade gracefully against new writers.
+  misparsed, so old readers degrade gracefully against new writers;
+* **verified index** — each shard carries a sidecar ``index.json``
+  (key → deepest-checkpoint byte offset), rebuilt by compaction.  A
+  keyed read serves from one index lookup + one seek, but every served
+  entry is re-parsed and cross-checked; any disagreement with the data
+  file discards the index and falls back to a scan.  A stale index can
+  cost a re-scan, never a wrong rung.
+
+Locking contract (enforced by the ``lock-discipline`` project rule):
+every mutation of a data file — the ``os.write`` appends (checkpoints,
+tombstones, leases), the compaction's ``os.replace`` publishes of the
+data file and its index — executes under that file's sidecar
+:class:`_StoreLock`.  Lock order is always legacy-before-shard, and no
+path takes two shard locks at once, so there is no deadlock cycle.
 """
 
 from __future__ import annotations
@@ -30,13 +54,36 @@ import json
 import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..obs import get_registry
+from ..obs.clock import perf_counter, wall_time
+from .shards import (
+    IndexEntry,
+    ShardIndex,
+    index_path,
+    load_index,
+    shard_prefix,
+)
 
 #: Version written into every record; bump on incompatible layout changes.
 SCHEMA_VERSION = 1
 
-#: Fields a line must carry to be a readable record.
+#: Fields a line must carry to be a readable checkpoint record.
 _REQUIRED = ("schema", "key", "spec", "trials", "accepted", "backend")
+
+#: Data file name, shared by the legacy flat layout and every shard.
+DATA_NAME = "results.jsonl"
+
+#: Control-record kinds this build understands.
+CONTROL_KINDS = ("tombstone", "claim", "release")
+
+#: Default lease duration for :meth:`ResultStore.claim`.
+DEFAULT_LEASE_TTL_S = 300.0
+
+#: Sentinel for "the index could not answer" (distinct from "the index
+#: answered: no record stored").
+_INDEX_MISS = object()
 
 
 @dataclass(frozen=True)
@@ -66,7 +113,14 @@ class LabRecord:
             data = json.loads(line)
         except json.JSONDecodeError:
             return None
-        if not isinstance(data, dict) or any(f not in data for f in _REQUIRED):
+        if not isinstance(data, dict):
+            return None
+        return cls.from_data(data)
+
+    @classmethod
+    def from_data(cls, data: Dict[str, Any]) -> Optional["LabRecord"]:
+        """Validate one decoded line object; ``None`` when unreadable."""
+        if any(f not in data for f in _REQUIRED):
             return None
         if not isinstance(data["schema"], int) or data["schema"] > SCHEMA_VERSION:
             return None
@@ -88,6 +142,118 @@ class LabRecord:
         if record.trials <= 0 or not 0 <= record.accepted <= record.trials:
             return None
         return record
+
+
+@dataclass(frozen=True)
+class ControlRecord:
+    """One append-only policy record: tombstone, lease claim, or release.
+
+    Control lines share the data files with checkpoints but carry a
+    ``control`` kind instead of counts.  ``stamp`` is a wall-clock
+    export timestamp (the eviction policy ages against it); it never
+    feeds seeds, keys, or counts.
+    """
+
+    control: str  # one of CONTROL_KINDS
+    key: str
+    stamp: float
+    owner: str = ""
+    ttl_s: float = 0.0
+    schema: int = SCHEMA_VERSION
+
+    def to_line(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, allow_nan=False) + "\n"
+
+    def active_at(self, now: float) -> bool:
+        """Is this claim still unexpired at *now*?  (claims only)"""
+        return self.control == "claim" and self.stamp + self.ttl_s > now
+
+    @classmethod
+    def from_data(cls, data: Dict[str, Any]) -> Optional["ControlRecord"]:
+        """Validate one decoded control line; ``None`` when unreadable."""
+        schema = data.get("schema")
+        if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+            return None
+        try:
+            record = cls(
+                control=str(data["control"]),
+                key=str(data["key"]),
+                stamp=float(data["stamp"]),
+                owner=str(data.get("owner", "")),
+                ttl_s=float(data.get("ttl_s", 0.0)),
+                schema=schema,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+        if record.control not in CONTROL_KINDS or not record.key:
+            return None
+        if record.stamp < 0.0 or record.ttl_s < 0.0:
+            return None
+        if record.control == "claim" and (not record.owner or record.ttl_s <= 0):
+            return None
+        if record.control == "release" and not record.owner:
+            return None
+        return record
+
+
+#: One parsed data line: a checkpoint or a control record.
+StoreEvent = Union[LabRecord, ControlRecord]
+
+
+def _parse_line(line: str) -> Optional[StoreEvent]:
+    """Classify one line; ``None`` counts as corrupt."""
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict):
+        return None
+    if "control" in data:
+        return ControlRecord.from_data(data)
+    return LabRecord.from_data(data)
+
+
+def _apply_controls(
+    events: Iterable[StoreEvent],
+) -> Tuple[List[LabRecord], List[ControlRecord], int]:
+    """Fold control records over an event stream, in order.
+
+    A tombstone masks every *earlier* checkpoint of its key (later
+    re-computed checkpoints serve again — eviction forgets, it does
+    not ban).  Returns ``(visible records, controls, masked count)``.
+    """
+    records: List[LabRecord] = []
+    controls: List[ControlRecord] = []
+    masked = 0
+    for event in events:
+        if isinstance(event, LabRecord):
+            records.append(event)
+            continue
+        controls.append(event)
+        if event.control == "tombstone":
+            kept = [r for r in records if r.key != event.key]
+            masked += len(records) - len(kept)
+            records = kept
+    return records, controls, masked
+
+
+def _active_leases(
+    controls: Iterable[ControlRecord], now: float
+) -> Dict[str, ControlRecord]:
+    """The claims still held at *now*: claimed, unreleased, unexpired.
+
+    Replayed in append order: a later claim renews (or re-owns) a
+    key; a release by the holding owner clears it.
+    """
+    held: Dict[str, ControlRecord] = {}
+    for record in controls:
+        if record.control == "claim":
+            held[record.key] = record
+        elif record.control == "release":
+            current = held.get(record.key)
+            if current is not None and current.owner == record.owner:
+                del held[record.key]
+    return {key: rec for key, rec in held.items() if rec.active_at(now)}
 
 
 def _flock(fd: int, lock: bool) -> None:
@@ -136,26 +302,79 @@ class _StoreLock:
 
 
 @dataclass(frozen=True)
+class _Shard:
+    """One shard's data file: the append primitive every writer shares."""
+
+    path: Path
+
+    def append_payload(self, payload: bytes) -> None:
+        """Durably append pre-serialized line(s) in one atomic write.
+
+        The data file is opened *inside* the store lock so an append
+        can never land on an inode a compaction is about to retire;
+        one ``os.write`` keeps multi-line payloads (bulk imports,
+        tombstone batches) contiguous.
+        """
+        with _StoreLock(self.path):
+            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+
+@dataclass(frozen=True)
 class StoreScan:
-    """One full read of the log: the readable records plus scan stats.
+    """One full read of the store: visible records plus scan stats.
 
     Returned by :meth:`ResultStore.scan` so corruption reporting is
     per-call state: a caller's count can never be clobbered by a later
-    query's internal re-scan.
+    query's internal re-scan.  ``controls`` carries the policy records
+    the read saw (in order); ``masked_records`` counts checkpoints
+    hidden by tombstones.
     """
 
     records: List[LabRecord]
     corrupt_lines: int
+    controls: List[ControlRecord] = field(default_factory=list)
+    masked_records: int = 0
+
+
+@dataclass(frozen=True)
+class StoreStatus:
+    """Summary counts for status surfaces (CLI, service stats).
+
+    ``source`` says how the numbers were produced: ``"index"`` (every
+    shard served by its sidecar index — the sub-second path),
+    ``"scan"`` (no index helped) or ``"mixed"``.
+    """
+
+    experiments: int
+    checkpoints: int
+    corrupt_lines: int
+    stored_trials: int
+    shards: int
+    indexed_shards: int
+    active_leases: int
+    legacy_records: int
+    source: str
+
+    def to_document(self) -> Dict[str, Any]:
+        return dict(vars(self))
 
 
 @dataclass
 class ResultStore:
-    """JSON-lines store of :class:`LabRecord` checkpoints, keyed by spec.
+    """Sharded JSON-lines store of :class:`LabRecord` checkpoints.
 
-    Construct with a directory path (created on demand).  Reads are
-    full-file scans — experiment logs are small (one line per
-    run/deepening, not per trial) and a scan per orchestrator call
-    keeps the on-disk format trivially recoverable.
+    Construct with a directory path (created on demand).  Writes
+    always go to ``shards/<prefix>/results.jsonl``; a legacy flat
+    ``results.jsonl`` at the root is read-merged transparently (legacy
+    lines order before shard lines) and absorbed into the shards by
+    the first :meth:`compact`.  Keyed reads (:meth:`deepest`) serve
+    from the per-shard index when one is fresh — one lookup + one
+    verified seek — and fall back to scanning one shard otherwise.
     """
 
     root: Union[str, Path]
@@ -168,51 +387,111 @@ class ResultStore:
     def __post_init__(self) -> None:
         self.root = Path(self.root)
 
+    # -- layout --------------------------------------------------------
+
     @property
     def path(self) -> Path:
-        """The underlying JSON-lines file."""
-        return Path(self.root) / "results.jsonl"
+        """The legacy flat data file (pre-shard layout), read-merged."""
+        return Path(self.root) / DATA_NAME
 
-    def append(self, record: LabRecord) -> None:
-        """Durably append one checkpoint (atomic at line granularity).
+    @property
+    def shards_root(self) -> Path:
+        """The directory holding one subdirectory per shard prefix."""
+        return Path(self.root) / "shards"
 
-        The data file is opened *inside* the store lock so an append
-        can never land on an inode :meth:`compact` is about to retire.
+    def shard_path(self, key: str) -> Path:
+        """The data file *key* routes to."""
+        return self.shards_root / shard_prefix(key) / DATA_NAME
+
+    def _shard(self, key: str) -> _Shard:
+        return _Shard(self.shard_path(key))
+
+    def _shard_for_prefix(self, prefix: str) -> _Shard:
+        return _Shard(self.shards_root / prefix / DATA_NAME)
+
+    def _shard_dirs(self) -> List[Path]:
+        if not self.shards_root.exists():
+            return []
+        return sorted(p for p in self.shards_root.iterdir() if p.is_dir())
+
+    def _data_files(self) -> List[Path]:
+        """Every data file, legacy first then shards in prefix order."""
+        files = [self.path] if self.path.exists() else []
+        for shard_dir in self._shard_dirs():
+            data = shard_dir / DATA_NAME
+            if data.exists():
+                files.append(data)
+        return files
+
+    # -- reading -------------------------------------------------------
+
+    def _read_events(
+        self, path: Path, start: int = 0
+    ) -> Tuple[List[StoreEvent], int]:
+        """Parse a data file (or its tail from byte *start*).
+
+        Unreadable lines are counted, never raised: every failure mode
+        down to a vanished file reads as "no events".
         """
-        payload = record.to_line().encode("utf-8")
-        with _StoreLock(self.path):
-            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
-            try:
-                os.write(fd, payload)
-                os.fsync(fd)
-            finally:
-                os.close(fd)
+        try:
+            with open(path, "rb") as fh:
+                if start:
+                    fh.seek(start)
+                raw = fh.read()
+        except OSError:
+            return [], 0
+        events: List[StoreEvent] = []
+        corrupt = 0
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                continue
+            event = _parse_line(line)
+            if event is None:
+                corrupt += 1
+            else:
+                events.append(event)
+        return events, corrupt
+
+    def _scan_file(self, path: Path) -> Tuple[List[StoreEvent], int]:
+        """One *full* read of one data file — the scan choke point.
+
+        Every whole-file read in the store funnels through here, so
+        tests (and the index's O(1)-read gate) can count scans by
+        counting calls.
+        """
+        if not path.exists():
+            return [], 0
+        label = "legacy" if path == self.path else path.parent.name
+        get_registry().counter("lab.store.file_scans", shard=label).inc()
+        return self._read_events(path)
 
     def scan(self) -> StoreScan:
-        """One full read: readable checkpoints plus this scan's stats.
+        """One full read: visible checkpoints plus this scan's stats.
 
+        Merges the legacy flat file (first) with every shard (prefix
+        order); within a file, append order is preserved — and a key's
+        checkpoints all live in one shard, so per-key order is total.
         Unreadable lines (torn writes, foreign schemas, hand damage)
         are skipped and counted in the returned
         :attr:`StoreScan.corrupt_lines` — per-call state, immune to
-        later queries re-scanning the file.
+        later queries re-scanning the files.
         """
-        if not self.path.exists():
-            return StoreScan(records=[], corrupt_lines=0)
-        records: List[LabRecord] = []
+        events: List[StoreEvent] = []
         corrupt = 0
-        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
-            for line in fh:
-                if not line.strip():
-                    continue
-                record = LabRecord.from_line(line)
-                if record is None:
-                    corrupt += 1
-                else:
-                    records.append(record)
-        return StoreScan(records=records, corrupt_lines=corrupt)
+        for data in self._data_files():
+            found, bad = self._scan_file(data)
+            events.extend(found)
+            corrupt += bad
+        records, controls, masked = _apply_controls(events)
+        return StoreScan(
+            records=records,
+            corrupt_lines=corrupt,
+            controls=controls,
+            masked_records=masked,
+        )
 
     def load(self) -> List[LabRecord]:
-        """All readable checkpoints, in append order.
+        """All visible checkpoints, in merged append order.
 
         Also mirrors the scan's corruption count into
         :attr:`corrupt_lines` for callers of the historical attribute
@@ -230,21 +509,112 @@ class ResultStore:
 
         When the log holds several records at the same depth (a
         re-computed checkpoint), the latest append wins.  Pass
-        *records* (e.g. from a :meth:`scan`) to reuse a read instead of
-        re-scanning the file.
+        *records* (e.g. from a :meth:`scan`) to reuse a read; without
+        them only the key's own shard (plus any legacy file) is
+        scanned — never the whole store.
         """
         if records is None:
-            records = self.scan().records
+            records = self._key_records(key)
         by_trials: Dict[int, LabRecord] = {}
         for record in records:
             if record.key == key:
                 by_trials[record.trials] = record
         return [by_trials[t] for t in sorted(by_trials)]
 
+    def _key_records(self, key: str) -> List[LabRecord]:
+        """Visible records for one key: legacy file + its shard only."""
+        events: List[StoreEvent] = []
+        if self.path.exists():
+            found, _ = self._scan_file(self.path)
+            events.extend(found)
+        shard_data = self.shard_path(key)
+        if shard_data.exists():
+            found, _ = self._scan_file(shard_data)
+            events.extend(found)
+        records, _, _ = _apply_controls(events)
+        return [r for r in records if r.key == key]
+
     def deepest(self, key: str) -> Optional[LabRecord]:
-        """The deepest checkpoint for *key*, or ``None``."""
+        """The deepest checkpoint for *key*, or ``None``.
+
+        Serves from the shard's sidecar index when it is fresh: one
+        lookup, one verified seek, plus a scan of any post-compaction
+        tail — zero full-file scans.  Any disagreement between index
+        and data file discards the index and falls back to the ladder
+        scan, so a stale index can never serve a wrong rung.
+        """
+        hit = self._indexed_deepest(key)
+        if hit is not _INDEX_MISS:
+            return hit  # type: ignore[return-value]
         ladder = self.checkpoints(key)
         return ladder[-1] if ladder else None
+
+    def _indexed_deepest(self, key: str):
+        """Index fast path: a record / ``None`` answer, or ``_INDEX_MISS``."""
+        registry = get_registry()
+        if self.path.exists():
+            # Unmigrated legacy data could hold deeper rungs the index
+            # has never seen; only a scan is authoritative.
+            registry.counter("lab.store.index.misses").inc()
+            return _INDEX_MISS
+        shard_dir = self.shards_root / shard_prefix(key)
+        data = shard_dir / DATA_NAME
+        doc = load_index(shard_dir)
+        if doc is None:
+            if data.exists():
+                registry.counter("lab.store.index.misses").inc()
+                return _INDEX_MISS
+            return None  # no shard file at all: definitively nothing stored
+        try:
+            size = os.stat(data).st_size
+        except OSError:
+            size = 0
+        if size < doc.indexed_bytes:
+            # The file shrank below what the index describes — a
+            # truncation or an old-code rewrite.  The document is void.
+            registry.counter("lab.store.index.discarded").inc()
+            return _INDEX_MISS
+        current: Optional[LabRecord] = None
+        entry = doc.entries.get(key)
+        if entry is not None:
+            current = self._verify_entry(data, key, entry)
+            if current is None:
+                registry.counter("lab.store.index.discarded").inc()
+                return _INDEX_MISS
+        if size > doc.indexed_bytes:
+            # Post-compaction tail: scan only the appended bytes and
+            # fold this key's events on top of the indexed answer.
+            tail_events, _ = self._read_events(data, start=doc.indexed_bytes)
+            for event in tail_events:
+                if event.key != key:
+                    continue
+                if isinstance(event, ControlRecord):
+                    if event.control == "tombstone":
+                        current = None
+                elif current is None or event.trials >= current.trials:
+                    current = event
+        registry.counter("lab.store.index.hits").inc()
+        return current
+
+    def _verify_entry(
+        self, data: Path, key: str, entry: IndexEntry
+    ) -> Optional[LabRecord]:
+        """Seek-and-reparse one index entry; ``None`` on any mismatch."""
+        try:
+            with open(data, "rb") as fh:
+                fh.seek(entry.offset)
+                raw = fh.read(entry.length)
+        except OSError:
+            return None
+        record = LabRecord.from_line(raw.decode("utf-8", errors="replace"))
+        if (
+            record is None
+            or record.key != key
+            or record.trials != entry.trials
+            or record.accepted != entry.accepted
+        ):
+            return None
+        return record
 
     def latest_by_key(
         self, records: Optional[List[LabRecord]] = None
@@ -259,33 +629,455 @@ class ResultStore:
                 deepest[record.key] = record
         return deepest
 
-    def compact(self) -> int:
-        """Rewrite the log atomically, dropping unreadable lines.
+    def status(self, *, now: Optional[float] = None) -> StoreStatus:
+        """Store-wide summary, served from shard indexes where fresh.
 
-        Keeps every (key, trials) checkpoint — the deepening ladder is
-        load-bearing — but collapses duplicate depths to the latest
-        append.  Returns the number of lines removed.  The rewrite goes
-        through a temp file + ``os.replace`` so a crash mid-compaction
-        leaves the original log intact.  Runs under the store lock so
-        concurrent appends either land before the snapshot (and are
-        kept) or wait for the new inode (and are never lost).
+        A shard whose index covers exactly the data file's bytes is
+        summarized from the index alone (no file scan); dirty shards
+        and any legacy flat file are scanned.  On a fully compacted
+        store this is pure index reads — the ``lab status``
+        sub-second-at-10^5-keys path.
         """
+        now = wall_time() if now is None else float(now)
+        deepest: Dict[str, int] = {}
+        checkpoints = 0
+        corrupt = 0
+        leased: set = set()
+        legacy_records = 0
+        indexed = 0
+        scanned = 0
+
+        def absorb_scan(path: Path) -> int:
+            nonlocal checkpoints, corrupt
+            events, bad = self._scan_file(path)
+            records, controls, _ = _apply_controls(events)
+            corrupt += bad
+            checkpoints += len(records)
+            for record in records:
+                if record.trials >= deepest.get(record.key, 0):
+                    deepest[record.key] = record.trials
+            leased.update(_active_leases(controls, now))
+            return len(records)
+
+        if self.path.exists():
+            scanned += 1
+            legacy_records = absorb_scan(self.path)
+        for shard_dir in self._shard_dirs():
+            data = shard_dir / DATA_NAME
+            doc = load_index(shard_dir)
+            try:
+                size = os.stat(data).st_size
+            except OSError:
+                size = 0
+            if doc is not None and size == doc.indexed_bytes:
+                indexed += 1
+                checkpoints += doc.lines
+                for key, entry in doc.entries.items():
+                    if entry.trials >= deepest.get(key, 0):
+                        deepest[key] = entry.trials
+                for key, lease in doc.leases.items():
+                    try:
+                        active = float(lease["stamp"]) + float(lease["ttl_s"]) > now
+                    except (KeyError, TypeError, ValueError):
+                        active = False
+                    if active:
+                        leased.add(key)
+            elif data.exists():
+                scanned += 1
+                absorb_scan(data)
+        if indexed and scanned:
+            source = "mixed"
+        elif indexed:
+            source = "index"
+        else:
+            source = "scan"
+        return StoreStatus(
+            experiments=len(deepest),
+            checkpoints=checkpoints,
+            corrupt_lines=corrupt,
+            stored_trials=sum(deepest.values()),
+            shards=len(self._shard_dirs()),
+            indexed_shards=indexed,
+            active_leases=len(leased),
+            legacy_records=legacy_records,
+            source=source,
+        )
+
+    # -- writing -------------------------------------------------------
+
+    def append(self, record: LabRecord) -> None:
+        """Durably append one checkpoint (atomic at line granularity)."""
+        payload = record.to_line().encode("utf-8")
+        self._shard(record.key).append_payload(payload)
+        get_registry().counter(
+            "lab.store.appends", shard=shard_prefix(record.key)
+        ).inc()
+
+    def append_many(self, records: Iterable[LabRecord]) -> int:
+        """Bulk import: group by shard, one locked write+fsync per shard.
+
+        Orders of magnitude cheaper than per-record :meth:`append` for
+        fleet-scale seeding (the 10^5-key bench path); each shard's
+        batch is still a single contiguous ``os.write``.
+        """
+        by_prefix: Dict[str, List[bytes]] = {}
+        count = 0
+        for record in records:
+            by_prefix.setdefault(shard_prefix(record.key), []).append(
+                record.to_line().encode("utf-8")
+            )
+            count += 1
+        registry = get_registry()
+        for prefix in sorted(by_prefix):
+            self._shard_for_prefix(prefix).append_payload(
+                b"".join(by_prefix[prefix])
+            )
+            registry.counter("lab.store.appends", shard=prefix).inc(
+                len(by_prefix[prefix])
+            )
+        return count
+
+    # -- leases --------------------------------------------------------
+
+    def claim(
+        self,
+        key: str,
+        owner: str,
+        *,
+        ttl_s: float = DEFAULT_LEASE_TTL_S,
+        now: Optional[float] = None,
+    ) -> bool:
+        """Atomically claim a lease on *key* for *owner*.
+
+        The check-and-append runs under the shard's :class:`_StoreLock`,
+        so two processes racing for one key serialize on the same
+        ``flock`` — exactly one sees ``True``.  A holder re-claiming
+        renews its lease.  This is the cross-interpreter coalescing
+        primitive: N workers claim before running, and only the winner
+        executes trials for the key.
+        """
+        if not owner:
+            raise ValueError("claim needs a non-empty owner")
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        now = wall_time() if now is None else float(now)
+        shard = self._shard(key)
+        registry = get_registry()
+        with _StoreLock(shard.path):
+            events, _ = self._read_events(shard.path)
+            _, controls, _ = _apply_controls(events)
+            held = _active_leases(controls, now).get(key)
+            if held is not None and held.owner != owner:
+                registry.counter("lab.store.leases", action="denied").inc()
+                return False
+            payload = ControlRecord(
+                control="claim", key=key, stamp=now, owner=owner,
+                ttl_s=float(ttl_s),
+            ).to_line().encode("utf-8")
+            fd = os.open(shard.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        registry.counter("lab.store.leases", action="claimed").inc()
+        return True
+
+    def release(self, key: str, owner: str, *, now: Optional[float] = None) -> None:
+        """Release *owner*'s lease on *key* (append-only, idempotent)."""
+        if not owner:
+            raise ValueError("release needs a non-empty owner")
+        now = wall_time() if now is None else float(now)
+        record = ControlRecord(control="release", key=key, stamp=now, owner=owner)
+        self._shard(key).append_payload(record.to_line().encode("utf-8"))
+        get_registry().counter("lab.store.leases", action="released").inc()
+
+    def lease_for(
+        self, key: str, *, now: Optional[float] = None
+    ) -> Optional[ControlRecord]:
+        """The active lease on *key*, or ``None``."""
+        now = wall_time() if now is None else float(now)
+        events, _ = self._read_events(self.shard_path(key))
+        _, controls, _ = _apply_controls(events)
+        return _active_leases(controls, now).get(key)
+
+    def active_leases(
+        self, *, now: Optional[float] = None
+    ) -> Dict[str, ControlRecord]:
+        """Every active lease in the store (full read — maintenance use)."""
+        now = wall_time() if now is None else float(now)
+        return _active_leases(self.scan().controls, now)
+
+    # -- eviction ------------------------------------------------------
+
+    def evict(
+        self,
+        *,
+        ttl_seconds: Optional[float] = None,
+        max_keys: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> List[str]:
+        """Append eviction tombstones per TTL and/or LRU policy.
+
+        Only *indexed* keys are candidates — a key's age is its index
+        stamp (when its deepest rung last changed), so nothing is
+        evictable before a compaction has seen it — and three classes
+        are always protected: keys with an active lease, keys with
+        post-compaction tail activity, and (for LRU) the newest keys
+        up to *max_keys*.  Tombstones are appended under the shard
+        lock **after re-checking leases under that same lock**, so a
+        claim racing an eviction serializes: eviction never removes a
+        key holding an active lease.
+
+        Returns the evicted keys.  Eviction is append-only — the bytes
+        are reclaimed by the next :meth:`compact`.
+        """
+        if ttl_seconds is None and max_keys is None:
+            return []
+        if ttl_seconds is not None and ttl_seconds < 0:
+            raise ValueError("ttl_seconds must be non-negative")
+        if max_keys is not None and max_keys < 0:
+            raise ValueError("max_keys must be non-negative")
+        now = wall_time() if now is None else float(now)
+        start = perf_counter()
+        candidates: List[Tuple[float, str, str]] = []  # (stamp, key, prefix)
+        total_keys = 0
+        for shard_dir in self._shard_dirs():
+            data = shard_dir / DATA_NAME
+            events, _ = self._scan_file(data)
+            records, controls, _ = _apply_controls(events)
+            live = {}
+            for record in records:
+                live[record.key] = record
+            total_keys += len(live)
+            leases = _active_leases(controls, now)
+            doc = load_index(shard_dir)
+            if doc is None:
+                continue
+            try:
+                size = os.stat(data).st_size
+            except OSError:
+                continue
+            if size < doc.indexed_bytes:
+                continue  # stale index: no trustworthy ages in this shard
+            tail_events, _ = self._read_events(data, start=doc.indexed_bytes)
+            # Post-compaction checkpoints make a key "newest" (no index
+            # stamp yet → not evictable); control records are not data
+            # activity — lease protection is the lease check's job.
+            tail_keys = {
+                event.key
+                for event in tail_events
+                if isinstance(event, LabRecord)
+            }
+            for key in live:
+                if key in leases or key in tail_keys:
+                    continue
+                entry = doc.entries.get(key)
+                if entry is None:
+                    continue
+                candidates.append((entry.stamp, key, shard_dir.name))
+        chosen: Dict[str, str] = {}
+        if ttl_seconds is not None:
+            for stamp, key, prefix in candidates:
+                if now - stamp >= ttl_seconds:
+                    chosen[key] = prefix
+        if max_keys is not None and total_keys - len(chosen) > max_keys:
+            for stamp, key, prefix in sorted(candidates):
+                if total_keys - len(chosen) <= max_keys:
+                    break
+                if key not in chosen:
+                    chosen[key] = prefix
+        by_prefix: Dict[str, List[str]] = {}
+        for key, prefix in chosen.items():
+            by_prefix.setdefault(prefix, []).append(key)
+        evicted: List[str] = []
+        registry = get_registry()
+        for prefix in sorted(by_prefix):
+            written = self._append_tombstones(prefix, sorted(by_prefix[prefix]), now)
+            evicted.extend(written)
+            if written:
+                registry.counter("lab.store.evictions", shard=prefix).inc(
+                    len(written)
+                )
+        registry.histogram("lab.store.evict.seconds").observe(
+            perf_counter() - start
+        )
+        return sorted(evicted)
+
+    def _append_tombstones(
+        self, prefix: str, keys: List[str], now: float
+    ) -> List[str]:
+        """Tombstone *keys* in one shard, re-checking leases under lock."""
+        shard = self._shard_for_prefix(prefix)
+        with _StoreLock(shard.path):
+            events, _ = self._read_events(shard.path)
+            _, controls, _ = _apply_controls(events)
+            leases = _active_leases(controls, now)
+            safe = [key for key in keys if key not in leases]
+            if not safe:
+                return []
+            payload = b"".join(
+                ControlRecord(control="tombstone", key=key, stamp=now)
+                .to_line()
+                .encode("utf-8")
+                for key in safe
+            )
+            fd = os.open(shard.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, payload)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        return safe
+
+    # -- compaction and migration --------------------------------------
+
+    def compact(
+        self, prefix: Optional[str] = None, *, now: Optional[float] = None
+    ) -> int:
+        """Rewrite data files atomically and rebuild their indexes.
+
+        Per shard: drops unreadable lines, applies tombstones (the
+        masked checkpoints and the tombstones themselves are physically
+        removed), collapses duplicate depths to the latest append —
+        the (key, trials) deepening ladder itself is load-bearing and
+        kept — re-writes still-active lease claims, and publishes a
+        fresh sidecar index via temp file + ``os.replace``.  With
+        *prefix* only that shard is compacted (the live background
+        maintenance op — appends to other shards are never blocked);
+        without it, any legacy flat file is first absorbed into the
+        shards, then every shard is compacted.
+
+        Returns the number of lines removed.  A crash at any point
+        leaves either the old or the new inode — never a torn file.
+        """
+        now = wall_time() if now is None else float(now)
+        removed = 0
+        if prefix is None:
+            legacy_lines, moved = self._absorb_legacy()
+            removed += legacy_lines - moved
+            shard_dirs = self._shard_dirs()
+        else:
+            shard_dir = self.shards_root / prefix
+            shard_dirs = [shard_dir] if shard_dir.is_dir() else []
+        for shard_dir in shard_dirs:
+            removed += self._compact_shard(shard_dir, now)
+        return removed
+
+    def migrate(self) -> int:
+        """Absorb a legacy flat store into shards and compact them all.
+
+        Idempotent and crash-safe (a crash mid-move leaves duplicate
+        ``(key, trials)`` lines, which the read path dedupes and the
+        next compaction removes).  Returns the number of records moved
+        out of the legacy file.  Every key's deepest checkpoint is
+        preserved *byte-identically*: records are re-emitted via
+        :meth:`LabRecord.to_line`, the same canonical serialization
+        that wrote them.
+        """
+        _, moved = self._absorb_legacy()
+        self.compact()
+        return moved
+
+    def _absorb_legacy(self) -> Tuple[int, int]:
+        """Move the legacy flat file's events into their shards.
+
+        Returns ``(legacy nonblank lines, events moved)``; the
+        difference is the corruption dropped by the move.  Shard
+        appends happen *before* the legacy file is removed, so a crash
+        between the two duplicates records instead of losing them.
+        """
+        if not self.path.exists():
+            return 0, 0
         with _StoreLock(self.path):
-            records = self.scan().records
-            kept: Dict[tuple, LabRecord] = {}
+            events, corrupt = self._scan_file(self.path)
+            by_prefix: Dict[str, List[bytes]] = {}
+            for event in events:
+                by_prefix.setdefault(shard_prefix(event.key), []).append(
+                    event.to_line().encode("utf-8")
+                )
+            for prefix in sorted(by_prefix):
+                self._shard_for_prefix(prefix).append_payload(
+                    b"".join(by_prefix[prefix])
+                )
+            os.remove(self.path)
+        return len(events) + corrupt, len(events)
+
+    def _compact_shard(self, shard_dir: Path, now: float) -> int:
+        """Compact one shard and publish its index, under its lock."""
+        data = shard_dir / DATA_NAME
+        if not data.exists():
+            return 0
+        start = perf_counter()
+        with _StoreLock(data):
+            events, corrupt = self._scan_file(data)
+            before = len(events) + corrupt
+            records, controls, _ = _apply_controls(events)
+            kept: Dict[Tuple[str, int], LabRecord] = {}
             for record in records:
                 kept[(record.key, record.trials)] = record
-            before = 0
-            if self.path.exists():
-                with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
-                    before = sum(1 for line in fh if line.strip())
             ordered = sorted(kept.values(), key=lambda r: (r.key, r.trials))
-            tmp = self.path.with_suffix(".jsonl.tmp")
-            self.path.parent.mkdir(parents=True, exist_ok=True)
+            leases = _active_leases(controls, now)
+            old_doc = load_index(shard_dir)
+            entries: Dict[str, IndexEntry] = {}
+            offset = 0
+            tmp = data.with_suffix(".jsonl.tmp")
             with open(tmp, "w", encoding="utf-8") as fh:
                 for record in ordered:
-                    fh.write(record.to_line())
+                    line = record.to_line()
+                    length = len(line.encode("utf-8"))
+                    # Sorted by (key, trials): the last write per key
+                    # is its deepest rung, which is what the entry
+                    # must point at.
+                    stamp = now
+                    if old_doc is not None:
+                        old = old_doc.entries.get(record.key)
+                        if (
+                            old is not None
+                            and old.trials == record.trials
+                            and old.accepted == record.accepted
+                        ):
+                            stamp = old.stamp  # unchanged rung keeps its age
+                    entries[record.key] = IndexEntry(
+                        offset=offset,
+                        length=length,
+                        trials=record.trials,
+                        accepted=record.accepted,
+                        stamp=stamp,
+                    )
+                    fh.write(line)
+                    offset += length
+                lease_lines = [leases[key].to_line() for key in sorted(leases)]
+                for line in lease_lines:
+                    fh.write(line)
+                    offset += len(line.encode("utf-8"))
                 fh.flush()
                 os.fsync(fh.fileno())
-            os.replace(tmp, self.path)
-            return before - len(ordered)
+            os.replace(tmp, data)
+            doc = ShardIndex(
+                indexed_bytes=offset,
+                lines=len(ordered),
+                built_stamp=now,
+                entries=entries,
+                leases={
+                    key: {
+                        "owner": lease.owner,
+                        "stamp": lease.stamp,
+                        "ttl_s": lease.ttl_s,
+                    }
+                    for key, lease in leases.items()
+                },
+            )
+            index_tmp = index_path(shard_dir).with_suffix(".json.tmp")
+            with open(index_tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc.to_document(), fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(index_tmp, index_path(shard_dir))
+            after = len(ordered) + len(lease_lines)
+        registry = get_registry()
+        registry.counter("lab.store.compactions", shard=shard_dir.name).inc()
+        registry.histogram("lab.store.compact.seconds").observe(
+            perf_counter() - start
+        )
+        return before - after

@@ -73,10 +73,19 @@ DEFAULT_BLOCKING_ROOTS: Sequence[str] = (
     "ExecutionEngine.run_many",
     "Orchestrator.run",
     "Orchestrator.run_to_precision",
+    "Orchestrator.maintain",
     "ResultStore.scan",
     "ResultStore.load",
     "ResultStore.append",
+    "ResultStore.append_many",
     "ResultStore.compact",
+    "ResultStore.migrate",
+    "ResultStore.status",
+    "ResultStore.evict",
+    "ResultStore.claim",
+    "ResultStore.release",
+    "ResultStore.lease_for",
+    "ResultStore.active_leases",
 )
 
 #: Where the checked coroutines live.

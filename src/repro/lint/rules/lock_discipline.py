@@ -41,7 +41,10 @@ from ..framework import Finding, ProjectRule, register_rule
 from ..project import CALL, FunctionInfo, ProjectModel
 
 #: Modules whose file mutations the store contract covers.
-DEFAULT_STORE_PATHS: Sequence[str] = ("repro/lab/store.py",)
+DEFAULT_STORE_PATHS: Sequence[str] = (
+    "repro/lab/store.py",
+    "repro/lab/shards.py",  # pure today; covered so mutations can't drift in
+)
 
 #: Mutation primitives (exact dotted call names) that rewrite the log.
 DEFAULT_MUTATION_CALLS: Sequence[str] = ("os.write", "os.replace")

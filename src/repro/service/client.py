@@ -172,6 +172,26 @@ class ServiceClient:
         """The service's counter snapshot (coalesced, engine_runs, ...)."""
         return self._request({"op": "stats"})
 
+    def maintain(
+        self,
+        ttl_seconds: Optional[float] = None,
+        max_keys: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Run one live store-maintenance pass on the server.
+
+        Eviction per the given TTL/LRU policy (either may be omitted),
+        then per-shard compaction and index rebuild; returns the
+        :class:`repro.lab.MaintenanceReport` document.  Safe to call
+        while queries are in flight — shards compact under their own
+        locks and appends are never blocked.
+        """
+        message: Dict[str, Any] = {"op": "maintain"}
+        if ttl_seconds is not None:
+            message["ttl_seconds"] = ttl_seconds
+        if max_keys is not None:
+            message["max_keys"] = max_keys
+        return self._request(message)
+
     def metrics(self) -> Dict[str, Any]:
         """The service's full telemetry snapshot.
 

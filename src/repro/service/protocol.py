@@ -10,6 +10,13 @@ Requests::
     {"v": 1, "id": 7, "op": "query", "spec": {...ExperimentSpec...},
      "target_halfwidth": 0.01, "max_batch_bytes": 268435456}
     {"v": 1, "id": 8, "op": "ping" | "stats" | "metrics" | "shutdown"}
+    {"v": 1, "id": 9, "op": "maintain", "ttl_seconds": 604800.0,
+     "max_keys": 100000}
+
+The ``maintain`` op runs one store-maintenance pass (TTL/LRU eviction
+tombstones, then per-shard compaction and index rebuild) off the event
+loop and answers with the :class:`repro.lab.MaintenanceReport`
+document; both policy fields are optional (omitted = that policy off).
 
 Responses::
 
@@ -146,4 +153,28 @@ def validate_max_batch_bytes(value: Any) -> Optional[int]:
         raise ValueError(f"max_batch_bytes must be an integer, got {value!r}")
     if value <= 0:
         raise ValueError("max_batch_bytes must be positive")
+    return value
+
+
+def validate_ttl_seconds(value: Any) -> Optional[float]:
+    """Coerce a maintain request's ``ttl_seconds`` (None passes through)."""
+    if value is None:
+        return None
+    try:
+        ttl = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"ttl_seconds must be a number, got {value!r}") from None
+    if ttl < 0.0:
+        raise ValueError("ttl_seconds must be non-negative")
+    return ttl
+
+
+def validate_max_keys(value: Any) -> Optional[int]:
+    """Coerce a maintain request's ``max_keys`` (None passes through)."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"max_keys must be an integer, got {value!r}")
+    if value < 0:
+        raise ValueError("max_keys must be non-negative")
     return value

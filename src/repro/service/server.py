@@ -53,7 +53,9 @@ from .protocol import (
     error_response,
     ok_response,
     validate_max_batch_bytes,
+    validate_max_keys,
     validate_target_halfwidth,
+    validate_ttl_seconds,
 )
 
 #: In-flight identity: same key + same depth + same precision target
@@ -143,6 +145,9 @@ class AcceptanceService:
         #: joiner counts per in-flight identity, drained into the
         #: ``service.coalesce.depth`` histogram when the run completes.
         self._coalesce_depth: Dict[CoalesceKey, int] = {}
+        #: last maintenance report (cached document, so ``stats`` can
+        #: surface it without touching the store from the event loop).
+        self._last_maintenance: Optional[Dict[str, Any]] = None
 
     # -- lifecycle ----------------------------------------------------
 
@@ -304,7 +309,8 @@ class AcceptanceService:
                 )
             if op == "stats":
                 result = self.stats.snapshot()
-                result["store"] = str(self.store.path)
+                result["store"] = str(self.store.root)
+                result["store_maintenance"] = self._last_maintenance
                 result["workers"] = self.workers
                 result["inflight"] = len(self._inflight)
                 result["inflight_keys"] = len(self._key_locks)
@@ -328,6 +334,12 @@ class AcceptanceService:
             if op == "query":
                 return (
                     await self._handle_query(request, request_id),
+                    False,
+                    op_label,
+                )
+            if op == "maintain":
+                return (
+                    await self._handle_maintain(request, request_id),
                     False,
                     op_label,
                 )
@@ -370,6 +382,30 @@ class AcceptanceService:
         payload = dict(result)
         payload["coalesced"] = coalesced
         return ok_response(request_id, payload)
+
+    async def _handle_maintain(
+        self, request: Dict[str, Any], request_id: Any
+    ) -> Dict[str, Any]:
+        """The live store-maintenance op: evict + compact off the loop.
+
+        Runs :meth:`Orchestrator.maintain` in the worker pool — the
+        event loop stays responsive, and in-flight query appends are
+        never blocked (each shard compacts under its own lock).  The
+        report is cached so later ``stats`` ops can surface it without
+        store I/O.
+        """
+        if self._stopping:
+            raise ProtocolError("service is shutting down")
+        ttl_seconds = validate_ttl_seconds(request.get("ttl_seconds"))
+        max_keys = validate_max_keys(request.get("max_keys"))
+        orchestrator = Orchestrator(self.store, max_batch_bytes=self.max_batch_bytes)
+        loop = asyncio.get_running_loop()
+        report = await loop.run_in_executor(
+            self._pool,
+            partial(orchestrator.maintain, ttl_seconds=ttl_seconds, max_keys=max_keys),
+        )
+        self._last_maintenance = report.to_document()
+        return ok_response(request_id, self._last_maintenance)
 
     async def _run_query(
         self,

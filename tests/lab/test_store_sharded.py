@@ -1,0 +1,294 @@
+"""The sharded store's new surface: routing, index, leases, eviction.
+
+Unit-level companions to the torture suite — each test pins one piece
+of the fleet-scale contract: key routing, the verified sidecar index
+and its O(1)-scans read path, tombstone masking, the eviction-vs-lease
+rule, live per-shard compaction, legacy flat-store transparency, and
+the reads-never-write guarantee.
+"""
+
+import pytest
+
+from repro.lab import (
+    ControlRecord,
+    ExperimentSpec,
+    MaintenanceReport,
+    Orchestrator,
+    ResultStore,
+    shard_prefix,
+)
+from repro.lab.store import DATA_NAME, LabRecord
+
+from torture import colliding_keys, make_record, seed_store
+
+
+def count_scans(monkeypatch):
+    """Instrument the scan choke point; returns the call list."""
+    calls = []
+    original = ResultStore._scan_file
+
+    def counting(self, path):
+        calls.append(path)
+        return original(self, path)
+
+    monkeypatch.setattr(ResultStore, "_scan_file", counting)
+    return calls
+
+
+class TestRouting:
+    def test_append_routes_by_stable_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = make_record("some-key", 100)
+        store.append(record)
+        expected = tmp_path / "shards" / shard_prefix("some-key") / DATA_NAME
+        assert expected.exists()
+        assert store.shard_path("some-key") == expected
+        assert not store.path.exists()  # appends never touch the legacy file
+
+    def test_spec_shard_matches_store_routing(self, tmp_path):
+        spec = ExperimentSpec(family="member", k=1, trials=50, seed=3)
+        store = ResultStore(tmp_path)
+        assert store.shard_path(spec.key).parent.name == spec.shard
+
+    def test_append_many_groups_by_shard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        records = [make_record(f"bulk-{i}", 100) for i in range(50)]
+        assert store.append_many(records) == 50
+        assert len(store.load()) == 50
+        assert {r.key for r in store.load()} == {f"bulk-{i}" for i in range(50)}
+
+
+class TestIndexReadPath:
+    def test_deepest_after_compact_does_zero_scans(self, tmp_path, monkeypatch):
+        seed_store(tmp_path, ["idx-a", "idx-b"], rungs=(100, 200))
+        store = ResultStore(tmp_path)
+        store.compact()
+        calls = count_scans(monkeypatch)
+        assert store.deepest("idx-a") == make_record("idx-a", 200)
+        assert store.deepest("missing-key") is None
+        assert calls == []  # pure index hits: no full-file scan
+
+    def test_tail_appends_merge_over_the_index(self, tmp_path):
+        seed_store(tmp_path, ["tail-key"], rungs=(100,))
+        store = ResultStore(tmp_path)
+        store.compact()
+        store.append(make_record("tail-key", 300))  # post-compaction tail
+        assert store.deepest("tail-key") == make_record("tail-key", 300)
+
+    def test_status_on_compacted_store_does_zero_scans(self, tmp_path, monkeypatch):
+        seed_store(tmp_path, [f"st-{i}" for i in range(12)], rungs=(100, 200))
+        store = ResultStore(tmp_path)
+        store.compact()
+        calls = count_scans(monkeypatch)
+        status = store.status()
+        assert calls == []
+        assert status.source == "index"
+        assert status.experiments == 12 and status.checkpoints == 24
+        assert status.stored_trials == 12 * 200
+
+    def test_status_mixes_index_and_scan_for_dirty_shards(self, tmp_path):
+        seed_store(tmp_path, ["mx-a", "mx-b"], rungs=(100,))
+        store = ResultStore(tmp_path)
+        store.compact()
+        store.append(make_record("mx-a", 200))  # dirties one shard
+        status = store.status()
+        assert status.source in ("mixed", "scan")
+        assert status.experiments == 2
+        assert status.stored_trials == 300
+
+
+class TestTombstonesAndEviction:
+    def test_ttl_eviction_masks_then_compaction_removes(self, tmp_path):
+        seed_store(tmp_path, ["old-key", "new-key"], rungs=(100,))
+        store = ResultStore(tmp_path)
+        store.compact(now=1000.0)
+        # Deepen new-key at t=5000 and recompact: its stamp advances.
+        store.append(make_record("new-key", 200))
+        store.compact(now=5000.0)
+        evicted = store.evict(ttl_seconds=2000.0, now=6000.0)
+        assert evicted == ["old-key"]  # 5000s old; new-key is 1000s old
+        assert store.deepest("old-key") is None
+        assert store.deepest("new-key") == make_record("new-key", 200)
+        masked = store.scan()
+        assert masked.masked_records == 1
+        store.compact(now=6000.0)
+        clean = store.scan()
+        assert clean.masked_records == 0  # tombstones physically removed
+        # The survivor's full deepening ladder is kept; old-key is gone.
+        assert [(r.key, r.trials) for r in clean.records] == [
+            ("new-key", 100), ("new-key", 200),
+        ]
+
+    def test_lru_eviction_keeps_newest_max_keys(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(6):
+            store.append(make_record(f"lru-{i}", 100))
+            store.compact(now=1000.0 * (i + 1))  # stamps 1000, 2000, ...
+        evicted = store.evict(max_keys=2, now=10_000.0)
+        assert sorted(evicted) == [f"lru-{i}" for i in range(4)]  # oldest four
+        survivors = {r.key for r in store.scan().records}
+        assert survivors == {"lru-4", "lru-5"}
+
+    def test_eviction_never_removes_leased_keys(self, tmp_path):
+        seed_store(tmp_path, ["leased", "free"], rungs=(100,))
+        store = ResultStore(tmp_path)
+        store.compact(now=1000.0)
+        assert store.claim("leased", "worker-1", ttl_s=500.0, now=1000.0)
+        evicted = store.evict(ttl_seconds=0.0, now=1200.0)
+        assert evicted == ["free"]
+        assert store.deepest("leased") == make_record("leased", 100)
+        # Once the lease expires, the key becomes evictable again.
+        evicted = store.evict(ttl_seconds=0.0, now=2000.0)
+        assert evicted == ["leased"]
+
+    def test_uncompacted_keys_are_never_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.append(make_record("fresh", 100))  # no index entry yet
+        assert store.evict(ttl_seconds=0.0, now=1e12) == []
+        assert store.deepest("fresh") == make_record("fresh", 100)
+
+    def test_stamp_carries_over_while_rung_unchanged(self, tmp_path):
+        from repro.lab.shards import load_index
+
+        seed_store(tmp_path, ["stamp-key"], rungs=(100,))
+        store = ResultStore(tmp_path)
+        store.compact(now=1000.0)
+        store.compact(now=9000.0)  # nothing changed: age must not reset
+        shard_dir = store.shards_root / shard_prefix("stamp-key")
+        assert load_index(shard_dir).entries["stamp-key"].stamp == 1000.0
+
+
+class TestLeases:
+    def test_claim_release_cycle(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim("job", "alpha", ttl_s=100.0, now=0.0)
+        assert not store.claim("job", "beta", ttl_s=100.0, now=50.0)
+        lease = store.lease_for("job", now=50.0)
+        assert isinstance(lease, ControlRecord) and lease.owner == "alpha"
+        store.release("job", "alpha", now=60.0)
+        assert store.lease_for("job", now=61.0) is None
+        assert store.claim("job", "beta", ttl_s=100.0, now=62.0)
+
+    def test_expired_lease_is_reclaimable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim("job", "alpha", ttl_s=10.0, now=0.0)
+        assert store.claim("job", "beta", ttl_s=10.0, now=20.0)
+
+    def test_foreign_release_does_not_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.claim("job", "alpha", ttl_s=100.0, now=0.0)
+        store.release("job", "intruder", now=1.0)
+        assert store.lease_for("job", now=2.0).owner == "alpha"
+
+    def test_claims_validate_inputs(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.claim("job", "")
+        with pytest.raises(ValueError):
+            store.claim("job", "alpha", ttl_s=0.0)
+
+    def test_leases_survive_compaction(self, tmp_path):
+        seed_store(tmp_path, ["held"], rungs=(100,))
+        store = ResultStore(tmp_path)
+        assert store.claim("held", "alpha", ttl_s=10_000.0, now=1000.0)
+        store.compact(now=2000.0)
+        assert store.lease_for("held", now=3000.0).owner == "alpha"
+
+    def test_control_lines_read_as_corrupt_by_old_readers(self, tmp_path):
+        # Graceful degradation: a control line misses the checkpoint
+        # fields, so a pre-lease reader skips it instead of misparsing.
+        line = ControlRecord(control="claim", key="k", stamp=1.0,
+                             owner="o", ttl_s=5.0).to_line()
+        assert LabRecord.from_line(line) is None
+
+
+class TestLegacyTransparency:
+    def test_flat_store_reads_through_new_code_path(self, tmp_path):
+        flat = [make_record(f"flat-{i}", 100 * (i + 1)) for i in range(4)]
+        (tmp_path / DATA_NAME).write_text(
+            "".join(r.to_line() for r in flat), encoding="utf-8"
+        )
+        store = ResultStore(tmp_path)
+        assert len(store.load()) == 4
+        assert store.deepest("flat-2") == flat[2]
+        assert store.status().legacy_records == 4
+
+    def test_reads_never_create_files(self, tmp_path):
+        root = tmp_path / "absent"
+        store = ResultStore(root)
+        assert store.scan().records == []
+        assert store.deepest("anything") is None
+        assert store.status().experiments == 0
+        assert store.evict(ttl_seconds=0.0) == []
+        assert store.compact() == 0
+        assert not root.exists()
+
+    def test_legacy_and_shard_records_merge_per_key(self, tmp_path):
+        (tmp_path / DATA_NAME).write_text(
+            make_record("merge-key", 100).to_line(), encoding="utf-8"
+        )
+        store = ResultStore(tmp_path)
+        store.append(make_record("merge-key", 300))
+        ladder = store.checkpoints("merge-key")
+        assert [r.trials for r in ladder] == [100, 300]
+        assert store.deepest("merge-key").trials == 300
+
+    def test_full_compact_absorbs_legacy(self, tmp_path):
+        (tmp_path / DATA_NAME).write_text(
+            make_record("abs-key", 100).to_line() + "garbage\n", encoding="utf-8"
+        )
+        store = ResultStore(tmp_path)
+        removed = store.compact()
+        assert removed == 1  # the garbage line
+        assert not store.path.exists()
+        assert store.deepest("abs-key") == make_record("abs-key", 100)
+
+
+class TestMaintainOp:
+    def test_orchestrator_maintain_reports(self, tmp_path):
+        seed_store(tmp_path, ["m-a", "m-b"], rungs=(100, 200))
+        orch = Orchestrator(tmp_path)
+        report = orch.maintain()
+        assert isinstance(report, MaintenanceReport)
+        assert report.experiments == 2 and report.checkpoints == 4
+        assert report.shards == report.indexed_shards
+        assert report.evicted_keys == 0
+        doc = report.to_document()
+        assert doc["experiments"] == 2 and "elapsed_s" in doc
+
+    def test_maintain_is_safe_alongside_runs(self, tmp_path):
+        orch = Orchestrator(tmp_path)
+        spec = ExperimentSpec(family="member", k=1, trials=40, seed=11)
+        first = orch.run(spec)
+        orch.maintain()
+        again = orch.run(spec)
+        assert again.source == "cache"
+        assert again.estimate.accepted == first.estimate.accepted
+
+    def test_run_after_compact_uses_index_not_scan(self, tmp_path, monkeypatch):
+        orch = Orchestrator(tmp_path)
+        spec = ExperimentSpec(family="member", k=1, trials=40, seed=11)
+        orch.run(spec)
+        orch.maintain()
+        calls = count_scans(monkeypatch)
+        result = orch.run(spec)
+        assert result.source == "cache"
+        assert calls == []  # O(1) keyed read: the cache hit cost no scans
+
+
+class TestShardedConcurrencyInProcess:
+    def test_threaded_appends_one_shard(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        store = ResultStore(tmp_path)
+        keys = colliding_keys(4)
+
+        def append_ladder(key):
+            for trials in (100, 200, 300):
+                store.append(make_record(key, trials))
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(append_ladder, keys))
+        result = store.scan()
+        assert result.corrupt_lines == 0
+        assert len(result.records) == 12

@@ -102,6 +102,27 @@ def test_ping_and_stats(client):
     assert stats["queries"] == 0 and "store" in stats
 
 
+def test_maintain_op_compacts_live_store(client):
+    first = client.query(trials=150, **SPEC_KWARGS)
+    report = client.maintain()
+    assert report["experiments"] == 1 and report["checkpoints"] == 1
+    assert report["evicted_keys"] == 0
+    assert report["shards"] == report["indexed_shards"] == 1
+    # The maintained store still serves: a repeat query is a pure
+    # cache hit (now via the rebuilt index), counts unchanged.
+    again = client.query(trials=150, **SPEC_KWARGS)
+    assert again.source == "cache" and again.accepted == first.accepted
+    stats = client.stats()
+    assert stats["store_maintenance"]["checkpoints"] == 1
+
+
+def test_maintain_op_validates_policy_fields(client):
+    with pytest.raises(ServiceError, match="ttl_seconds"):
+        client.maintain(ttl_seconds=-5.0)
+    with pytest.raises(ServiceError, match="max_keys"):
+        client.maintain(max_keys=-1)
+
+
 def test_query_fresh_then_cache(client):
     first = client.query(trials=200, **SPEC_KWARGS)
     assert first.source == "fresh" and first.trials_executed == 200
